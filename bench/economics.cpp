@@ -1,0 +1,91 @@
+// The paper's economic motivation, quantified: §I argues dedicated
+// processing/network resources are cost-prohibitive and that hybrid clouds
+// let remote computation "be scaled down during periods of low demand
+// without incurring processing or more importantly, bandwidth costs".
+// This bench prices every scheduler's run (2010 EC2/S3-class rates) and
+// scores the §I ticket SLA, then compares static vs elastic EC
+// provisioning.
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "harness/scenario.hpp"
+#include "sla/cost.hpp"
+#include "sla/tickets.hpp"
+#include "stats/summary.hpp"
+
+int main() {
+  using namespace cbs;
+  const std::vector<std::uint64_t> seeds = {42, 7, 1337};
+
+  std::printf("=== economics: cost and ticket SLA per scheduler ===\n");
+  std::printf("(large bucket, %zu seeds; cloud cost = EC machine-hours + "
+              "transfer + staging)\n\n",
+              seeds.size());
+  std::printf("%-20s %10s %12s %12s %12s %10s\n", "scheduler", "makespan",
+              "cloud cost", "cost/GB out", "ticket hit", "p95 late");
+  for (const auto kind :
+       {core::SchedulerKind::kIcOnly, core::SchedulerKind::kGreedy,
+        core::SchedulerKind::kOrderPreserving,
+        core::SchedulerKind::kBandwidthSplit}) {
+    stats::Summary makespan, cloud, per_gb, hit, late;
+    for (const std::uint64_t seed : seeds) {
+      harness::Scenario s = harness::make_scenario(
+          kind, workload::SizeBucket::kLargeBiased, seed);
+      const auto r = harness::run_scenario(s);
+      makespan.add(r.report.makespan_seconds);
+      cloud.add(r.cost.cloud_total());
+      per_gb.add(sla::cloud_cost_per_output_mb(r.cost, r.outcomes) * 1000.0);
+      hit.add(r.tickets.hit_rate);
+      late.add(r.tickets.p95_lateness);
+    }
+    std::printf("%-20s %9.0fs %12.3f %12.3f %11.0f%% %9.0fs\n",
+                std::string(core::to_string(kind)).c_str(), makespan.mean(),
+                cloud.mean(), per_gb.mean(), hit.mean() * 100.0, late.mean());
+  }
+
+  std::printf("\n=== static vs elastic EC provisioning (Op, large bucket) ===\n\n");
+  std::printf("%-22s %10s %12s %14s %12s\n", "provisioning", "makespan",
+              "cloud cost", "EC mach-hours", "ticket hit");
+  for (const bool elastic : {false, true}) {
+    stats::Summary makespan, cloud, hours, hit;
+    for (const std::uint64_t seed : seeds) {
+      harness::Scenario s = harness::make_scenario(
+          core::SchedulerKind::kOrderPreserving,
+          workload::SizeBucket::kLargeBiased, seed);
+      auto cfg = core::default_controller_config(false);
+      if (elastic) {
+        cfg.elastic_ec.enabled = true;
+        cfg.elastic_ec.min_machines = 1;
+        cfg.elastic_ec.max_machines = 4;
+        cfg.topology.ec_machines = 1;  // start small, grow on demand
+      }
+      s.config_override = cfg;
+      const auto r = harness::run_scenario(s);
+      makespan.add(r.report.makespan_seconds);
+      cloud.add(r.cost.cloud_total());
+      hours.add(r.cost.ec_compute / sla::CostRates{}.ec_machine_hour);
+      hit.add(r.tickets.hit_rate);
+    }
+    std::printf("%-22s %9.0fs %12.3f %14.2f %11.0f%%\n",
+                elastic ? "elastic (1..4 VMs)" : "static (2 VMs)",
+                makespan.mean(), cloud.mean(), hours.mean(),
+                hit.mean() * 100.0);
+  }
+
+  std::printf("\n=== what ticket can the shop sell? ===\n");
+  std::printf("(tightest uniform scaling of the {600s + 4s/MB} promise that\n"
+              " each scheduler meets at a 95%% hit rate, large bucket)\n\n");
+  for (const auto kind :
+       {core::SchedulerKind::kIcOnly, core::SchedulerKind::kOrderPreserving}) {
+    stats::Summary scale;
+    for (const std::uint64_t seed : seeds) {
+      harness::Scenario s = harness::make_scenario(
+          kind, workload::SizeBucket::kLargeBiased, seed);
+      const auto r = harness::run_scenario(s);
+      scale.add(sla::tightest_ticket_scale(r.outcomes, s.ticket_policy, 0.95));
+    }
+    std::printf("%-20s needs %.2fx the baseline promise\n",
+                std::string(core::to_string(kind)).c_str(), scale.mean());
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Reproduces Fig. 10: the OO metric of each burst scheduler relative to the
+// IC-only baseline, tolerance t_l = 4, large bucket, high network
+// variation. The paper: Op and Op+BandwidthSplit sit above Greedy at almost
+// all times, and the BandwidthSplit curve jumps sharply near the end of the
+// run (when the large job whose small siblings were favored finally lands).
+// Averaged across seeds; the per-seed series of the last seed is printed as
+// CSV for plotting.
+#include <cstdio>
+#include <iostream>
+
+#include "harness/csv.hpp"
+#include "harness/experiment.hpp"
+#include "harness/scenario.hpp"
+#include "stats/summary.hpp"
+
+int main() {
+  using namespace cbs;
+  using core::SchedulerKind;
+  const std::vector<std::uint64_t> seeds = {42, 7, 1337, 2718, 31415};
+  const std::vector<SchedulerKind> kinds = {
+      SchedulerKind::kIcOnly, SchedulerKind::kGreedy,
+      SchedulerKind::kOrderPreserving, SchedulerKind::kBandwidthSplit};
+
+  std::printf(
+      "=== Fig. 10: OO metric relative to IC-only "
+      "(t_l = 4, large, high variation, %zu seeds) ===\n\n",
+      seeds.size());
+
+  std::vector<stats::Summary> avg_rel(kinds.size());
+  std::vector<stats::Summary> share_ge_greedy(kinds.size());
+  std::vector<stats::Summary> tail_rel(kinds.size());  // last-quarter average
+  std::vector<harness::RunResult> last;
+  for (const std::uint64_t seed : seeds) {
+    harness::Scenario base = harness::make_scenario(
+        SchedulerKind::kIcOnly, workload::SizeBucket::kLargeBiased, seed,
+        /*high_network_variation=*/true);
+    base.oo_tolerance = 4;
+    auto results = harness::run_comparison(base, kinds);
+
+    const auto& baseline = results[0];
+    const double end = baseline.sim_end_time;
+    const double dt = base.oo_sampling_interval;
+    for (std::size_t i = 1; i < kinds.size(); ++i) {
+      double total = 0.0;
+      double tail_total = 0.0;
+      std::size_t n = 0;
+      std::size_t tail_n = 0;
+      std::size_t ge = 0;
+      for (double t = 0.0; t <= end; t += dt) {
+        const double rel = results[i].oo_series.value_at(t) -
+                           baseline.oo_series.value_at(t);
+        const double greedy_rel = results[1].oo_series.value_at(t) -
+                                  baseline.oo_series.value_at(t);
+        total += rel;
+        if (rel >= greedy_rel) ++ge;
+        ++n;
+        if (t >= 0.75 * end) {
+          tail_total += rel;
+          ++tail_n;
+        }
+      }
+      avg_rel[i].add(total / static_cast<double>(n));
+      tail_rel[i].add(tail_total / static_cast<double>(tail_n));
+      share_ge_greedy[i].add(static_cast<double>(ge) / static_cast<double>(n));
+    }
+    last = std::move(results);
+  }
+
+  std::printf("%-20s %22s %24s\n", "scheduler", "avg rel. OO (MB)",
+              "share of time >= Greedy");
+  for (std::size_t i = 1; i < kinds.size(); ++i) {
+    std::printf("%-20s %21.1f %23.0f%%\n",
+                std::string(core::to_string(kinds[i])).c_str(),
+                avg_rel[i].mean(), share_ge_greedy[i].mean() * 100.0);
+  }
+
+  // The paper's claim is positional — Op and Op+BS "show higher OO metric
+  // w.r.t. the Greedy scheduler (almost at all points of time)" — so the
+  // checks are on the share of sampling instants, not the average (which a
+  // single deep trough can dominate).
+  std::printf("\nshape checks:\n");
+  std::printf("  Op >= Greedy at a majority of instants:    %s (%.0f%%, "
+              "avg %.1f vs %.1f MB)\n",
+              share_ge_greedy[2].mean() > 0.5 ? "yes" : "NO",
+              share_ge_greedy[2].mean() * 100.0, avg_rel[2].mean(),
+              avg_rel[1].mean());
+  std::printf("  Op+BS >= Greedy at a majority of instants: %s (%.0f%%; "
+              "last-quarter rel. OO %.1f vs %.1f MB)\n",
+              share_ge_greedy[3].mean() > 0.5 ? "yes" : "NO",
+              share_ge_greedy[3].mean() * 100.0, tail_rel[3].mean(),
+              tail_rel[1].mean());
+
+  std::printf("\ncsv (absolute OO series, last seed):\n");
+  harness::csv::write_oo_overlay(std::cout, last,
+                                 last[0].scenario.oo_sampling_interval);
+  return 0;
+}

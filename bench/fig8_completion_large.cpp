@@ -1,0 +1,57 @@
+// Reproduces Fig. 8: completion times for the large job-size distribution,
+// where the Greedy-vs-Op peak/valley contrast is amplified — a delayed
+// 300 MB download blocks the in-order consumer for a long time.
+#include <cstdio>
+#include <iostream>
+
+#include "harness/csv.hpp"
+#include "harness/experiment.hpp"
+#include "harness/scenario.hpp"
+#include "sla/metrics.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cbs;
+  const bool emit_csv = argc > 1 && std::string_view(argv[1]) == "--csv";
+
+  std::printf("=== Fig. 8: completion times, large bucket ===\n\n");
+  const harness::Scenario base = harness::make_scenario(
+      core::SchedulerKind::kGreedy, workload::SizeBucket::kLargeBiased);
+  const auto results = harness::run_comparison(
+      base,
+      {core::SchedulerKind::kGreedy, core::SchedulerKind::kOrderPreserving});
+
+  for (const auto& r : results) {
+    const auto stats = sla::compute_orderliness(r.outcomes, 120.0);
+    std::printf(
+        "%-18s jobs=%4zu inversions=%5zu max-peak=%7.1fs p95-peak=%6.1fs "
+        "peaks>120s=%zu\n",
+        r.report.scheduler.c_str(), r.outcomes.size(), stats.inversions,
+        stats.max_frontier_push, stats.p95_frontier_push,
+        stats.pushes_over_threshold);
+  }
+
+  const auto greedy = sla::compute_orderliness(results[0].outcomes, 120.0);
+  const auto op = sla::compute_orderliness(results[1].outcomes, 120.0);
+  // The single tallest peak is usually one very large IC job (identical in
+  // both runs); the scheduler-dependent signal is in the bulk of the peak
+  // distribution, so the check compares the p95 peak.
+  std::printf(
+      "\nshape checks (amplified vs Fig. 7):\n"
+      "  Greedy p95 peak > Op p95 peak: %s (%.1fs vs %.1fs)\n\n",
+      greedy.p95_frontier_push > op.p95_frontier_push ? "yes" : "NO",
+      greedy.p95_frontier_push, op.p95_frontier_push);
+
+  for (const auto& r : results) {
+    std::printf("completion-time profile (%s):\n%s\n",
+                r.report.scheduler.c_str(),
+                harness::ascii_chart(harness::completion_by_seq(r), 10, 80)
+                    .c_str());
+  }
+  if (emit_csv) {
+    for (const auto& r : results) {
+      std::printf("csv (%s):\n", r.scenario.name.c_str());
+      harness::csv::write_completion_series(std::cout, r);
+    }
+  }
+  return 0;
+}

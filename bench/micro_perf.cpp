@@ -1,0 +1,168 @@
+// Micro-benchmarks of the hot paths: event engine, link allocation, QRSM
+// fit/predict, OO metric computation, full scenario throughput.
+#include <benchmark/benchmark.h>
+
+#include "harness/experiment.hpp"
+#include "harness/scenario.hpp"
+#include "models/qrsm.hpp"
+#include "net/bandwidth_estimator.hpp"
+#include "net/link.hpp"
+#include "simcore/simulation.hpp"
+#include "sla/metrics.hpp"
+#include "workload/chunker.hpp"
+#include "sla/oo_metric.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+void BM_EventEngineThroughput(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    cbs::sim::Simulation sim;
+    for (int i = 0; i < n; ++i) {
+      sim.schedule_at(static_cast<double>(i % 97), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventEngineThroughput)->Arg(1000)->Arg(10000);
+
+void BM_QrsmFit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  cbs::sim::RngStream rng(7);
+  cbs::workload::GroundTruthModel truth({}, rng.substream("t"));
+  cbs::workload::WorkloadGenerator gen({}, truth, rng.substream("g"));
+  std::vector<cbs::workload::DocumentFeatures> feats;
+  std::vector<double> y;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto doc = gen.next();
+    feats.push_back(doc.features);
+    y.push_back(truth.expected_seconds(doc.features));
+  }
+  for (auto _ : state) {
+    cbs::models::QrsmModel model;
+    model.fit(feats, y);
+    benchmark::DoNotOptimize(model.is_fitted());
+  }
+}
+BENCHMARK(BM_QrsmFit)->Arg(128)->Arg(512);
+
+void BM_QrsmPredict(benchmark::State& state) {
+  cbs::sim::RngStream rng(7);
+  cbs::workload::GroundTruthModel truth({}, rng.substream("t"));
+  cbs::workload::WorkloadGenerator gen({}, truth, rng.substream("g"));
+  std::vector<cbs::workload::DocumentFeatures> feats;
+  std::vector<double> y;
+  for (std::size_t i = 0; i < 256; ++i) {
+    auto doc = gen.next();
+    feats.push_back(doc.features);
+    y.push_back(truth.expected_seconds(doc.features));
+  }
+  cbs::models::QrsmModel model;
+  model.fit(feats, y);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(feats[i++ % feats.size()]));
+  }
+}
+BENCHMARK(BM_QrsmPredict);
+
+void BM_OoMetricSeries(benchmark::State& state) {
+  // Synthetic outcomes: n jobs completing in shuffled order.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<cbs::sla::JobOutcome> outcomes(n);
+  cbs::sim::RngStream rng(3);
+  for (std::size_t i = 0; i < n; ++i) {
+    outcomes[i].seq_id = i + 1;
+    outcomes[i].completed = rng.uniform(0.0, 10000.0);
+    outcomes[i].output_mb = rng.uniform(1.0, 300.0);
+  }
+  for (auto _ : state) {
+    cbs::sla::OoMetricCalculator oo(outcomes);
+    benchmark::DoNotOptimize(oo.series(120.0, 4));
+  }
+}
+BENCHMARK(BM_OoMetricSeries)->Arg(100)->Arg(1000);
+
+void BM_LinkAllocationStorm(benchmark::State& state) {
+  // Water-filling reallocation cost under many concurrent transfers.
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    cbs::sim::Simulation sim;
+    cbs::net::LinkConfig cfg;
+    cfg.base_rate = 1.0e6;
+    cfg.per_connection_cap = 0.1e6;
+    cfg.noise_sigma = 0.0;
+    cfg.setup_latency = 0.0;
+    cbs::net::Link link(sim, cfg, cbs::sim::RngStream(1));
+    for (int i = 0; i < n; ++i) {
+      sim.schedule_at(static_cast<double>(i) * 0.1,
+                      [&link] { link.submit(1.0e5, 2, nullptr); });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(link.total_bytes_delivered());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LinkAllocationStorm)->Arg(64)->Arg(256);
+
+void BM_ChunkerSplit(benchmark::State& state) {
+  cbs::sim::RngStream rng(9);
+  cbs::workload::GroundTruthModel truth({}, rng.substream("t"));
+  cbs::workload::PdfChunker chunker({.target_size_mb = 40.0});
+  cbs::workload::Document doc;
+  doc.doc_id = 1;
+  doc.features.size_mb = 300.0;
+  doc.features.pages = 250;
+  doc.features.num_images = 120;
+  std::uint64_t next_id = 1000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chunker.chunk(doc, truth, &next_id));
+  }
+}
+BENCHMARK(BM_ChunkerSplit);
+
+void BM_OrderlinessStats(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<cbs::sla::JobOutcome> outcomes(n);
+  cbs::sim::RngStream rng(4);
+  for (std::size_t i = 0; i < n; ++i) {
+    outcomes[i].seq_id = i + 1;
+    outcomes[i].completed = rng.uniform(0.0, 10000.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cbs::sla::compute_orderliness(outcomes, 120.0));
+  }
+}
+BENCHMARK(BM_OrderlinessStats)->Arg(1000)->Arg(10000);
+
+void BM_BandwidthEstimatorTransferSeconds(benchmark::State& state) {
+  cbs::net::BandwidthEstimator est(
+      {.slots_per_day = 48, .alpha = 0.3, .prior_rate = 1.0e6});
+  for (int s = 0; s < 48; ++s) {
+    est.observe(static_cast<double>(s) * 1800.0, 0.5e6 + 2.0e4 * s);
+  }
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.estimate_transfer_seconds(t, 3.0e8));
+    t += 137.0;
+  }
+}
+BENCHMARK(BM_BandwidthEstimatorTransferSeconds);
+
+void BM_FullScenario(benchmark::State& state) {
+  for (auto _ : state) {
+    auto scenario = cbs::harness::make_scenario(
+        cbs::core::SchedulerKind::kOrderPreserving,
+        cbs::workload::SizeBucket::kUniform, 42);
+    scenario.num_batches = 2;
+    benchmark::DoNotOptimize(cbs::harness::run_scenario(scenario));
+  }
+}
+BENCHMARK(BM_FullScenario)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+// Multi-cloud ablation (the paper's §I scenario grid: Single vs Multiple
+// EC): with the same total external capacity and the same total pipe, is it
+// better to buy one provider or split across two? Splitting buys path
+// diversity (independent congestion processes) at the cost of fragmenting
+// the upload pipeline.
+#include <cstdio>
+#include <vector>
+
+#include "core/multi_cloud.hpp"
+#include "models/estimator.hpp"
+#include "simcore/simulation.hpp"
+#include "sla/metrics.hpp"
+#include "stats/distributions.hpp"
+#include "stats/summary.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace cbs;
+
+core::EcSiteConfig site(const char* name, std::size_t machines,
+                        double rate_bps, double noise_sigma) {
+  core::EcSiteConfig s;
+  s.name = name;
+  s.machines = machines;
+  s.job_overhead_seconds = 30.0;
+  s.uplink.base_rate = rate_bps;
+  s.uplink.per_connection_cap = rate_bps / 4.0;
+  s.uplink.noise_rho = 0.95;
+  s.uplink.noise_sigma = noise_sigma;
+  s.uplink.noise_step = 120.0;
+  s.uplink.setup_latency = 0.3;
+  s.downlink = s.uplink;
+  s.downlink.base_rate = rate_bps * 1.15;
+  return s;
+}
+
+struct Outcome {
+  stats::Summary makespan, burst, p95_peak;
+};
+
+Outcome run_config(const std::vector<core::EcSiteConfig>& sites,
+                   const std::vector<std::uint64_t>& seeds) {
+  Outcome out;
+  for (const std::uint64_t seed : seeds) {
+    sim::Simulation simulation;
+    sim::RngStream root(seed);
+    workload::GroundTruthModel truth({}, root.substream("truth"));
+    models::OracleEstimator estimator(truth);
+
+    core::MultiCloudConfig cfg;
+    cfg.ic.ic_machines = 8;
+    cfg.sites = sites;
+    cfg.bandwidth_estimator.prior_rate = sites[0].uplink.base_rate * 0.8;
+    cfg.slack_safety_margin = 30.0;
+
+    core::MultiCloudController controller(simulation, cfg, truth, estimator,
+                                          root.substream("system"));
+    workload::WorkloadGenerator::Config gen_cfg;
+    gen_cfg.bucket = workload::SizeBucket::kLargeBiased;
+    workload::WorkloadGenerator gen(gen_cfg, truth, root.substream("workload"));
+    auto rng = std::make_shared<sim::RngStream>(root.substream("arrivals"));
+    for (std::size_t b = 0; b < 8; ++b) {
+      simulation.schedule_at(
+          180.0 * static_cast<double>(b), [&, b] {
+            workload::Batch batch;
+            batch.batch_index = b;
+            batch.arrival_time = simulation.now();
+            auto n = stats::sample_poisson(*rng, 15.0);
+            if (n == 0) n = 1;
+            batch.documents = gen.batch(n);
+            controller.on_batch(batch);
+          });
+    }
+    simulation.run();
+    out.makespan.add(sla::makespan(controller.outcomes()));
+    out.burst.add(sla::burst_ratio(controller.outcomes()));
+    out.p95_peak.add(
+        sla::compute_orderliness(controller.outcomes(), 120.0)
+            .p95_frontier_push);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::uint64_t> seeds = {42, 7, 1337, 2718, 31415};
+  std::printf("=== multi-cloud ablation: one provider vs a split pool ===\n");
+  std::printf("(large bucket, high-variation paths, equal total capacity "
+              "and pipe, %zu seeds)\n\n",
+              seeds.size());
+
+  const auto one = run_config({site("single", 2, 1.3e6, 0.25)}, seeds);
+  const auto two = run_config(
+      {site("pool-a", 1, 0.65e6, 0.25), site("pool-b", 1, 0.65e6, 0.25)},
+      seeds);
+
+  std::printf("%-26s %10s %8s %10s\n", "configuration", "makespan", "burst",
+              "p95 peak");
+  std::printf("%-26s %9.0fs %8.2f %9.1fs\n", "1 provider (2 VM, full pipe)",
+              one.makespan.mean(), one.burst.mean(), one.p95_peak.mean());
+  std::printf("%-26s %9.0fs %8.2f %9.1fs\n", "2 providers (1 VM, half pipe)",
+              two.makespan.mean(), two.burst.mean(), two.p95_peak.mean());
+
+  const double delta =
+      100.0 * (two.makespan.mean() - one.makespan.mean()) / one.makespan.mean();
+  std::printf(
+      "\nsplit-pool makespan delta: %+.1f%% — path diversity buys "
+      "independent\ncongestion exposure; pipeline fragmentation costs "
+      "first-byte latency.\nWhich wins is workload-dependent; this harness "
+      "answers it per scenario.\n",
+      delta);
+  return 0;
+}

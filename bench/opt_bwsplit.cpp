@@ -1,0 +1,130 @@
+// Reproduces §V.B.4 "Potential Optimizations": applying Size-interval
+// Bandwidth Splitting to the Order Preserving scheduler on the large
+// distribution raised EC utilization (to ~58% in the paper) at roughly
+// unchanged IC utilization, with a small (+2%) speedup gain. Results are
+// averaged over several seeds (single runs are noise-dominated, exactly as
+// a single testbed run would be). Also runs the two §IV.D ablations this
+// library implements beyond the paper's evaluation: the idle-triggered
+// rescheduler and the oracle (perfect-information) estimator.
+#include <cstdio>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/scenario.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+struct Avg {
+  cbs::stats::Summary ic_util, ec_util, speedup, makespan;
+  void add(const cbs::harness::RunResult& r) {
+    ic_util.add(r.report.ic_utilization);
+    ec_util.add(r.report.ec_utilization);
+    speedup.add(r.report.speedup);
+    makespan.add(r.report.makespan_seconds);
+  }
+  void print(const char* label) const {
+    std::printf("%-28s %7.1f%% %7.1f%% %8.2f %9.0fs\n", label,
+                ic_util.mean() * 100.0, ec_util.mean() * 100.0, speedup.mean(),
+                makespan.mean());
+  }
+};
+
+}  // namespace
+
+int main() {
+  using namespace cbs;
+  const std::vector<std::uint64_t> seeds = {42, 7, 1337, 2718, 31415};
+  std::printf(
+      "=== §V.B.4: size-interval bandwidth splitting & ablations ===\n"
+      "(large bucket, averaged over %zu seeds)\n\n",
+      seeds.size());
+
+  Avg op, bs, bs_resched, oracle;
+  stats::Summary burst_cov;
+  std::size_t pull_backs = 0, push_outs = 0;
+  for (const std::uint64_t seed : seeds) {
+    harness::Scenario s = harness::make_scenario(
+        core::SchedulerKind::kOrderPreserving,
+        workload::SizeBucket::kLargeBiased, seed);
+
+    const auto op_run = harness::run_scenario(s);
+    op.add(op_run);
+    stats::Summary sizes;
+    for (const auto& o : op_run.outcomes) {
+      if (o.bursted()) sizes.add(o.input_mb);
+    }
+    if (sizes.count() > 1) burst_cov.add(sizes.cov());
+
+    s.scheduler = core::SchedulerKind::kBandwidthSplit;
+    bs.add(harness::run_scenario(s));
+
+    s.enable_rescheduler = true;
+    const auto br = harness::run_scenario(s);
+    bs_resched.add(br);
+    pull_backs += br.pull_backs;
+    push_outs += br.push_outs;
+
+    s.enable_rescheduler = false;
+    s.scheduler = core::SchedulerKind::kOrderPreserving;
+    s.estimator = core::EstimatorKind::kOracle;
+    oracle.add(harness::run_scenario(s));
+  }
+
+  std::printf("bursted-job size CoV under Op: %.2f (paper: ~1)\n\n",
+              burst_cov.mean());
+  std::printf("%-28s %8s %8s %8s %10s\n", "variant", "IC-util", "EC-util",
+              "speedup", "makespan");
+  op.print("order-preserving");
+  bs.print("op + bandwidth-split");
+  bs_resched.print("op + bw-split + rescheduler");
+  std::printf("%-28s pull-backs=%zu push-outs=%zu (total)\n",
+              "  (rescheduler activity)", pull_backs, push_outs);
+  oracle.print("op + oracle estimator");
+
+  // Mechanism isolation: the paper's precondition for size-interval
+  // splitting is high size variability among bursted jobs (their per-batch
+  // CoV was ~1; with chunking active ours is ~0.2, and the paper itself
+  // notes that at low variability splitting "defaults to ... a single
+  // interval"). Disable chunking on the uniform bucket so the bursted mix
+  // spans 1-300 MB, and measure the splitting effect where its precondition
+  // actually holds.
+  std::printf("\nmechanism check (chunking off, uniform bucket -> high CoV):\n");
+  Avg op_nochunk, bs_nochunk;
+  stats::Summary nochunk_cov;
+  for (const std::uint64_t seed : seeds) {
+    harness::Scenario s2 = harness::make_scenario(
+        core::SchedulerKind::kOrderPreserving, workload::SizeBucket::kUniform,
+        seed);
+    auto cfg2 = core::default_controller_config(false);
+    cfg2.params.variability_threshold_mb = 1.0e9;  // no chunking
+    s2.config_override = cfg2;
+    const auto op2 = harness::run_scenario(s2);
+    op_nochunk.add(op2);
+    stats::Summary sizes2;
+    for (const auto& o : op2.outcomes) {
+      if (o.bursted()) sizes2.add(o.input_mb);
+    }
+    if (sizes2.count() > 1) nochunk_cov.add(sizes2.cov());
+    s2.scheduler = core::SchedulerKind::kBandwidthSplit;
+    bs_nochunk.add(harness::run_scenario(s2));
+  }
+  std::printf("bursted-job size CoV without chunking: %.2f\n", nochunk_cov.mean());
+  op_nochunk.print("order-preserving (no chunk)");
+  bs_nochunk.print("op + bw-split   (no chunk)");
+  std::printf("splitting effect at high CoV: EC util %+.1fpp, speedup %+.1f%%\n",
+              (bs_nochunk.ec_util.mean() - op_nochunk.ec_util.mean()) * 100.0,
+              100.0 * (bs_nochunk.speedup.mean() - op_nochunk.speedup.mean()) /
+                  op_nochunk.speedup.mean());
+
+  std::printf("\npaper shape checks (Op+BS vs Op, large bucket):\n");
+  std::printf("  EC utilization increases:  %s (%.1f%% -> %.1f%%)\n",
+              bs.ec_util.mean() > op.ec_util.mean() ? "yes" : "NO",
+              op.ec_util.mean() * 100.0, bs.ec_util.mean() * 100.0);
+  std::printf("  IC utilization ~unchanged: %.1f%% -> %.1f%%\n",
+              op.ic_util.mean() * 100.0, bs.ic_util.mean() * 100.0);
+  std::printf("  speedup delta:             %+.1f%% (paper: ~+2%%)\n",
+              100.0 * (bs.speedup.mean() - op.speedup.mean()) /
+                  op.speedup.mean());
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Reproduces the paper's Table I: IC-Util, EC-Util, Burst-ratio and Speedup
+// for the Greedy and Order Preserving schedulers on the Large and Uniform
+// job-size distributions, averaged over several seeds.
+//
+// Paper values for reference (shape targets, not absolute):
+//            IC-Util        EC-Util        Burst-ratio    Speedup
+//            Greedy  Op     Greedy  Op     Greedy  Op     Greedy  Op
+//   Large    78.6    81     45.8    44     0.19    0.17   6.73    6.76
+//   Uniform  82.4    74.4   17.7    46.6   0.17    0.26   5.6     5.6
+#include <cstdio>
+#include <iostream>
+
+#include "harness/csv.hpp"
+#include "harness/experiment.hpp"
+#include "harness/scenario.hpp"
+#include "sla/report.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+struct Cell {
+  cbs::stats::Summary ic_util, ec_util, burst, speedup, makespan;
+};
+
+}  // namespace
+
+int main() {
+  using namespace cbs;
+  using core::SchedulerKind;
+  using workload::SizeBucket;
+
+  const std::vector<std::uint64_t> seeds = {42, 7, 1337, 2718, 31415};
+  std::printf("=== Table I: performance metrics (Greedy vs Op, %zu seeds) ===\n\n",
+              seeds.size());
+
+  const SizeBucket buckets[] = {SizeBucket::kLargeBiased, SizeBucket::kUniform};
+  const SchedulerKind kinds[] = {SchedulerKind::kGreedy,
+                                 SchedulerKind::kOrderPreserving};
+  Cell cells[2][2];
+  std::vector<harness::RunResult> last;
+  for (const std::uint64_t seed : seeds) {
+    for (int b = 0; b < 2; ++b) {
+      for (int k = 0; k < 2; ++k) {
+        const harness::Scenario s = harness::make_scenario(
+            kinds[k], buckets[static_cast<std::size_t>(b)], seed);
+        auto r = harness::run_scenario(s);
+        Cell& cell = cells[b][k];
+        cell.ic_util.add(r.report.ic_utilization);
+        cell.ec_util.add(r.report.ec_utilization);
+        cell.burst.add(r.report.burst_ratio);
+        cell.speedup.add(r.report.speedup);
+        cell.makespan.add(r.report.makespan_seconds);
+        if (seed == seeds.back()) last.push_back(std::move(r));
+      }
+    }
+  }
+
+  std::printf("%-9s %-18s %8s %8s %8s %8s %10s\n", "bucket", "scheduler",
+              "IC-Util", "EC-Util", "Burst", "Speedup", "Makespan");
+  const char* bucket_names[] = {"large", "uniform"};
+  const char* kind_names[] = {"greedy", "order-preserving"};
+  for (int b = 0; b < 2; ++b) {
+    for (int k = 0; k < 2; ++k) {
+      const Cell& c = cells[b][k];
+      std::printf("%-9s %-18s %7.1f%% %7.1f%% %8.2f %8.2f %9.0fs\n",
+                  bucket_names[b], kind_names[k], c.ic_util.mean() * 100.0,
+                  c.ec_util.mean() * 100.0, c.burst.mean(), c.speedup.mean(),
+                  c.makespan.mean());
+    }
+  }
+
+  std::printf("\npaper shape checks:\n");
+  std::printf("  large:   EC-Util substantial for both:  %.1f%% / %.1f%% "
+              "(paper ~45%%)\n",
+              cells[0][0].ec_util.mean() * 100.0,
+              cells[0][1].ec_util.mean() * 100.0);
+  std::printf("  large:   speedups comparable:            %.2f vs %.2f\n",
+              cells[0][0].speedup.mean(), cells[0][1].speedup.mean());
+  std::printf("  uniform: both schedulers burst (ratios): %.2f / %.2f\n",
+              cells[1][0].burst.mean(), cells[1][1].burst.mean());
+  std::printf("  large speedup >= uniform speedup (Op):   %s (%.2f vs %.2f)\n",
+              cells[0][1].speedup.mean() >= cells[1][1].speedup.mean() ? "yes"
+                                                                       : "NO",
+              cells[0][1].speedup.mean(), cells[1][1].speedup.mean());
+
+  std::printf("\ncsv (last seed):\n");
+  harness::csv::write_reports(std::cout, last);
+  return 0;
+}

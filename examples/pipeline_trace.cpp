@@ -1,0 +1,67 @@
+// Watch the Fig. 5 pipeline at work: run a small batch with stage logging
+// enabled and print each bursted job's journey through the asynchronous
+// queue network — schedule, upload queue, EC execution, download, result —
+// next to an internal job's straight path.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "simcore/simulation.hpp"
+#include "workload/generator.hpp"
+
+int main() {
+  using namespace cbs;
+  sim::Simulation simulation;
+  sim::RngStream root(4711);
+  workload::GroundTruthModel truth({}, root.substream("truth"));
+
+  auto cfg = core::default_controller_config(false);
+  cfg.scheduler = core::SchedulerKind::kGreedy;
+  cfg.record_stage_log = true;
+  cfg.topology.ic_machines = 2;  // small IC so jobs burst readily
+  core::CloudBurstController controller(simulation, cfg, truth,
+                                        root.substream("system"));
+  {
+    workload::WorkloadGenerator corpus({}, truth, root.substream("corpus"));
+    const auto docs = corpus.batch(150);
+    std::vector<double> y;
+    for (const auto& d : docs) y.push_back(truth.sample_seconds(d.features));
+    controller.pretrain(docs, y);
+  }
+
+  workload::WorkloadGenerator gen({}, truth, root.substream("workload"));
+  workload::Batch batch;
+  batch.batch_index = 0;
+  batch.documents = gen.batch(10);
+  controller.on_batch(batch);
+  simulation.run();
+
+  // Group the stage log per job.
+  std::map<std::uint64_t, std::vector<core::CloudBurstController::StageEvent>>
+      per_job;
+  for (const auto& e : controller.stage_log()) {
+    per_job[e.seq_id].push_back(e);
+  }
+
+  std::printf("=== pipeline trace (Fig. 5): one batch, %zu jobs ===\n\n",
+              per_job.size());
+  for (const auto& o : controller.outcomes()) {
+    std::printf("job %2llu  %-3s  %6.1f MB in / %6.1f MB out\n",
+                static_cast<unsigned long long>(o.seq_id),
+                std::string(sla::to_string(o.placement)).c_str(), o.input_mb,
+                o.output_mb);
+    for (const auto& e : per_job[o.seq_id]) {
+      std::printf("    t=%8.1fs  %s\n", e.time,
+                  std::string(core::to_string(e.state)).c_str());
+    }
+  }
+
+  std::printf(
+      "\nreading the trace: internal jobs go ic-waiting -> ic-running ->\n"
+      "completed; bursted jobs go upload-queued -> ec-running (upload done,\n"
+      "staged in the store) -> downloading -> completed. Stages of different\n"
+      "jobs interleave freely — that is the pipelining the paper's\n"
+      "architecture buys.\n");
+  return 0;
+}

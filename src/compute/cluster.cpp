@@ -1,0 +1,174 @@
+#include "compute/cluster.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace cbs::compute {
+
+using cbs::sim::SimTime;
+
+Cluster::Cluster(cbs::sim::Simulation& sim, std::string name, std::size_t machines,
+                 double speed)
+    : sim_(sim), name_(std::move(name)), speed_(speed), machines_(machines) {
+  assert(machines > 0);
+  assert(speed > 0.0);
+  active_machines_ = machines;
+  provision_level_ = machines;
+  provision_since_ = sim.now();
+}
+
+void Cluster::note_provision_change(std::size_t new_count) {
+  provision_accum_ +=
+      static_cast<double>(provision_level_) * (sim_.now() - provision_since_);
+  provision_since_ = sim_.now();
+  provision_level_ = new_count;
+}
+
+double Cluster::provisioned_machine_seconds() const {
+  return provision_accum_ +
+         static_cast<double>(provision_level_) * (sim_.now() - provision_since_);
+}
+
+std::size_t Cluster::add_machine() {
+  // Reuse a retired slot if one exists (keeps busy-time bookkeeping dense);
+  // otherwise grow.
+  std::size_t idx = machines_.size();
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    if (machines_[m].retired) {
+      idx = m;
+      break;
+    }
+  }
+  if (idx == machines_.size()) {
+    machines_.emplace_back();
+  } else {
+    machines_[idx].retired = false;
+    machines_[idx].retire_when_free = false;
+  }
+  ++active_machines_;
+  note_provision_change(active_machines_);
+  dispatch();
+  return idx;
+}
+
+bool Cluster::remove_machine() {
+  if (active_machines_ <= 1) return false;
+  // Prefer an idle machine (released immediately); otherwise mark the
+  // highest-index busy machine to retire when its current task finishes.
+  for (std::size_t m = machines_.size(); m-- > 0;) {
+    Machine& machine = machines_[m];
+    if (machine.retired || machine.retire_when_free) continue;
+    if (!machine.busy) {
+      machine.retired = true;
+      --active_machines_;
+      note_provision_change(active_machines_);
+      return true;
+    }
+  }
+  for (std::size_t m = machines_.size(); m-- > 0;) {
+    Machine& machine = machines_[m];
+    if (machine.retired || machine.retire_when_free) continue;
+    machine.retire_when_free = true;
+    return true;
+  }
+  return false;
+}
+
+TaskId Cluster::submit(double standard_service_seconds, std::uint64_t group_id,
+                       Callback on_complete) {
+  assert(standard_service_seconds >= 0.0);
+  const TaskId id = next_id_++;
+  queue_.push_back(Pending{id, group_id, sim_.now(), standard_service_seconds,
+                           std::move(on_complete)});
+  queued_standard_seconds_ += standard_service_seconds;
+  dispatch();
+  return id;
+}
+
+void Cluster::dispatch() {
+  while (!queue_.empty()) {
+    // Lowest-indexed free, non-retired machine, if any.
+    std::size_t free = machines_.size();
+    for (std::size_t m = 0; m < machines_.size(); ++m) {
+      if (!machines_[m].busy && !machines_[m].retired &&
+          !machines_[m].retire_when_free) {
+        free = m;
+        break;
+      }
+    }
+    if (free == machines_.size()) return;
+
+    Pending task = std::move(queue_.front());
+    queue_.pop_front();
+    queued_standard_seconds_ -= task.standard_service;
+
+    Machine& machine = machines_[free];
+    machine.busy = true;
+    machine.busy_since = sim_.now();
+    ++running_;
+
+    const SimTime started = sim_.now();
+    const double duration = task.standard_service / speed_;
+    // Move the task into the completion event; the machine index pins it.
+    sim_.schedule_in(duration,
+                     [this, free, task = std::move(task), started]() mutable {
+                       finish(free, std::move(task), started);
+                     });
+  }
+}
+
+void Cluster::finish(std::size_t machine_idx, Pending task, SimTime started) {
+  Machine& machine = machines_[machine_idx];
+  machine.busy = false;
+  machine.busy_accum += sim_.now() - machine.busy_since;
+  --running_;
+  if (machine.retire_when_free) {
+    machine.retire_when_free = false;
+    machine.retired = true;
+    --active_machines_;
+    note_provision_change(active_machines_);
+  }
+
+  TaskRecord rec;
+  rec.task_id = task.task_id;
+  rec.group_id = task.group_id;
+  rec.enqueued = task.enqueued;
+  rec.started = started;
+  rec.completed = sim_.now();
+  rec.machine = machine_idx;
+  rec.standard_service = task.standard_service;
+  completed_.push_back(rec);
+
+  // Pull the next task before invoking callbacks, so the machine never sits
+  // idle across a callback that might enqueue more work.
+  dispatch();
+  if (task.on_complete) task.on_complete(rec);
+  if (task_done_hook_) task_done_hook_();
+  if (queue_.empty() && !machines_[machine_idx].busy && idle_hook_) {
+    idle_hook_(machine_idx);
+  }
+}
+
+double Cluster::machine_busy_time(std::size_t machine) const {
+  assert(machine < machines_.size());
+  const Machine& m = machines_[machine];
+  return m.busy_accum + (m.busy ? sim_.now() - m.busy_since : 0.0);
+}
+
+double Cluster::total_busy_time() const {
+  double total = 0.0;
+  for (std::size_t m = 0; m < machines_.size(); ++m) total += machine_busy_time(m);
+  return total;
+}
+
+double Cluster::average_utilization(SimTime t0, SimTime t1) const {
+  assert(t1 > t0);
+  // Eq. 9: u_M = ru_M / (|M| * C). Busy time accumulated before t0 is not
+  // subtracted because runs always start metering at t0 = 0 in practice;
+  // the assert documents the assumption.
+  assert(t0 == 0.0 && "utilization metering assumes run starts at t=0");
+  return total_busy_time() /
+         (static_cast<double>(machine_count()) * (t1 - t0));
+}
+
+}  // namespace cbs::compute

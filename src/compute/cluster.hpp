@@ -1,0 +1,145 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "simcore/simulation.hpp"
+#include "simcore/time.hpp"
+
+namespace cbs::compute {
+
+using TaskId = std::uint64_t;
+
+/// Everything known about a finished compute task.
+struct TaskRecord {
+  TaskId task_id = 0;
+  std::uint64_t group_id = 0;  ///< caller-defined grouping (e.g. job id)
+  cbs::sim::SimTime enqueued = 0.0;
+  cbs::sim::SimTime started = 0.0;
+  cbs::sim::SimTime completed = 0.0;
+  std::size_t machine = 0;
+  double standard_service = 0.0;  ///< service time on a speed-1 machine
+};
+
+/// A pool of identical machines with one global FCFS task queue — the
+/// execution substrate for both the internal (Hadoop on printer
+/// controllers) and external (EMR) clouds. Tasks are dispatched to the
+/// lowest-indexed free machine; each machine runs one task at a time at
+/// `speed` times the standard rate.
+class Cluster {
+ public:
+  using Callback = std::function<void(const TaskRecord&)>;
+
+  Cluster(cbs::sim::Simulation& sim, std::string name, std::size_t machines,
+          double speed = 1.0);
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Enqueues a task needing `standard_service_seconds` of speed-1 compute.
+  TaskId submit(double standard_service_seconds, std::uint64_t group_id,
+                Callback on_complete);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  /// Machines currently provisioned (retired ones excluded).
+  [[nodiscard]] std::size_t machine_count() const noexcept { return active_machines_; }
+  /// All machine slots ever provisioned, including retired ones (for
+  /// per-machine busy-time iteration).
+  [[nodiscard]] std::size_t machine_slots() const noexcept { return machines_.size(); }
+  [[nodiscard]] double speed() const noexcept { return speed_; }
+  [[nodiscard]] std::size_t queued_tasks() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t running_tasks() const noexcept { return running_; }
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty() && running_ == 0; }
+
+  /// True (speed-1) service seconds sitting in the queue, not yet started.
+  /// Ground truth — used by metrics and tests, never by schedulers.
+  [[nodiscard]] double queued_standard_seconds() const noexcept {
+    return queued_standard_seconds_;
+  }
+
+  /// Busy time of one machine up to now.
+  [[nodiscard]] double machine_busy_time(std::size_t machine) const;
+  /// Sum of busy time over all machines.
+  [[nodiscard]] double total_busy_time() const;
+  /// Average utilization over [t0, t1] per the paper's Eq. 9.
+  [[nodiscard]] double average_utilization(cbs::sim::SimTime t0,
+                                           cbs::sim::SimTime t1) const;
+
+  [[nodiscard]] const std::vector<TaskRecord>& completed() const noexcept {
+    return completed_;
+  }
+
+  /// Registers a hook invoked whenever a machine becomes free and the queue
+  /// is empty — the trigger point of the §IV.D rescheduling strategies.
+  void set_idle_hook(std::function<void(std::size_t machine)> hook) {
+    idle_hook_ = std::move(hook);
+  }
+
+  /// Registers a hook invoked after every task completion (after the next
+  /// task was dispatched) — lets a controller keep its feed-ahead window
+  /// topped up without polling.
+  void set_task_done_hook(std::function<void()> hook) {
+    task_done_hook_ = std::move(hook);
+  }
+
+  // ---- Elasticity (pay-as-you-go instances) --------------------------
+
+  /// Provisions one more machine (an EC instance spin-up). It becomes
+  /// eligible for dispatch immediately; model boot delay by scheduling the
+  /// call at now + boot_time. Returns its machine index.
+  std::size_t add_machine();
+
+  /// Retires one machine: an idle machine is released immediately,
+  /// otherwise the busiest-index idle-soon machine finishes its current
+  /// task and is released then (lazy drain). Returns false when the
+  /// cluster is already at one machine (never scales to zero).
+  bool remove_machine();
+
+  /// Integral of provisioned machine count over time — the correct
+  /// utilization denominator for an elastic cluster (machine-seconds paid
+  /// for). For a static cluster this equals machine_count() * now.
+  [[nodiscard]] double provisioned_machine_seconds() const;
+
+ private:
+  struct Machine {
+    bool busy = false;
+    bool retired = false;        ///< released; never dispatched again
+    bool retire_when_free = false;
+    double busy_accum = 0.0;
+    cbs::sim::SimTime busy_since = 0.0;
+  };
+
+  struct Pending {
+    TaskId task_id;
+    std::uint64_t group_id;
+    cbs::sim::SimTime enqueued;
+    double standard_service;
+    Callback on_complete;
+  };
+
+  void dispatch();
+  void finish(std::size_t machine, Pending task, cbs::sim::SimTime started);
+
+  void note_provision_change(std::size_t new_count);
+
+  cbs::sim::Simulation& sim_;
+  std::string name_;
+  double speed_;
+  std::vector<Machine> machines_;
+  std::size_t active_machines_ = 0;
+  // Provisioned machine-seconds accounting.
+  double provision_accum_ = 0.0;
+  cbs::sim::SimTime provision_since_ = 0.0;
+  std::size_t provision_level_ = 0;
+  std::deque<Pending> queue_;
+  std::size_t running_ = 0;
+  double queued_standard_seconds_ = 0.0;
+  TaskId next_id_ = 1;
+  std::vector<TaskRecord> completed_;
+  std::function<void(std::size_t)> idle_hook_;
+  std::function<void()> task_done_hook_;
+};
+
+}  // namespace cbs::compute

@@ -1,0 +1,52 @@
+#include "compute/job_store.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cbs::compute {
+
+JobStore::JobStore(cbs::sim::Simulation& sim) : sim_(sim) {}
+
+void JobStore::integrate() {
+  byte_seconds_ += occupancy_ * (sim_.now() - last_change_);
+  last_change_ = sim_.now();
+}
+
+double JobStore::occupancy_byte_seconds() const {
+  return byte_seconds_ + occupancy_ * (sim_.now() - last_change_);
+}
+
+void JobStore::put(const std::string& key, double bytes) {
+  assert(bytes >= 0.0);
+  integrate();
+  auto [it, inserted] = objects_.try_emplace(key, bytes);
+  if (!inserted) {
+    occupancy_ -= it->second;
+    it->second = bytes;
+  }
+  occupancy_ += bytes;
+  peak_ = std::max(peak_, occupancy_);
+  history_.add(sim_.now(), occupancy_);
+}
+
+double JobStore::size_of(const std::string& key) const {
+  auto it = objects_.find(key);
+  return it == objects_.end() ? 0.0 : it->second;
+}
+
+bool JobStore::contains(const std::string& key) const {
+  return objects_.contains(key);
+}
+
+double JobStore::erase(const std::string& key) {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return 0.0;
+  integrate();
+  const double freed = it->second;
+  occupancy_ -= freed;
+  objects_.erase(it);
+  history_.add(sim_.now(), occupancy_);
+  return freed;
+}
+
+}  // namespace cbs::compute

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "simcore/simulation.hpp"
+#include "stats/timeseries.hpp"
+
+namespace cbs::compute {
+
+/// The external cloud's staging storage (Amazon S3 in the prototype):
+/// uploaded job inputs land here before EMR picks them up, and compressed
+/// outputs wait here for download. Tracks occupancy over time so benches
+/// can report peak staging footprint.
+class JobStore {
+ public:
+  explicit JobStore(cbs::sim::Simulation& sim);
+  JobStore(const JobStore&) = delete;
+  JobStore& operator=(const JobStore&) = delete;
+
+  /// Stores `bytes` under `key`; overwrites an existing object.
+  void put(const std::string& key, double bytes);
+
+  /// Size of the object under `key`; 0 if absent.
+  [[nodiscard]] double size_of(const std::string& key) const;
+
+  [[nodiscard]] bool contains(const std::string& key) const;
+
+  /// Removes an object; no-op if absent. Returns the freed bytes.
+  double erase(const std::string& key);
+
+  [[nodiscard]] double occupancy_bytes() const noexcept { return occupancy_; }
+  [[nodiscard]] double peak_occupancy_bytes() const noexcept { return peak_; }
+  /// Integral of occupancy over time (byte-seconds) — the storage-billing
+  /// quantity.
+  [[nodiscard]] double occupancy_byte_seconds() const;
+  [[nodiscard]] std::size_t object_count() const noexcept { return objects_.size(); }
+  [[nodiscard]] const cbs::stats::TimeSeries& occupancy_history() const noexcept {
+    return history_;
+  }
+
+ private:
+  cbs::sim::Simulation& sim_;
+  void integrate();
+
+  std::unordered_map<std::string, double> objects_;
+  double occupancy_ = 0.0;
+  double peak_ = 0.0;
+  double byte_seconds_ = 0.0;
+  cbs::sim::SimTime last_change_ = 0.0;
+  cbs::stats::TimeSeries history_;
+};
+
+}  // namespace cbs::compute

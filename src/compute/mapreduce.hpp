@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "compute/cluster.hpp"
+#include "simcore/simulation.hpp"
+
+namespace cbs::compute {
+
+/// Work description of one embarrassingly parallel document job, expressed
+/// the way the paper's prototype runs them on Hadoop / Elastic MapReduce:
+/// `num_map_tasks` independent map tasks followed by a single merge task.
+struct MapReduceSpec {
+  std::uint64_t job_id = 0;
+  /// Total map-phase compute on a speed-1 machine, split evenly over tasks.
+  double total_map_seconds = 0.0;
+  int num_map_tasks = 1;
+  /// Result-merge (and, on the EC, output-compression) cost.
+  double merge_seconds = 0.0;
+};
+
+/// Completion record for a MapReduce job run.
+struct MapReduceRecord {
+  std::uint64_t job_id = 0;
+  cbs::sim::SimTime submitted = 0.0;
+  cbs::sim::SimTime maps_done = 0.0;
+  cbs::sim::SimTime completed = 0.0;  ///< merge finished
+  int num_map_tasks = 0;
+};
+
+/// Runs MapReduce-shaped jobs on a Cluster: fans the map tasks into the
+/// cluster's FCFS queue (so job order is preserved at task granularity,
+/// while later jobs can fill machines an earlier narrow job leaves idle),
+/// then submits the merge task once every map has finished.
+class MapReduceRuntime {
+ public:
+  using Callback = std::function<void(const MapReduceRecord&)>;
+
+  MapReduceRuntime(cbs::sim::Simulation& sim, Cluster& cluster);
+  MapReduceRuntime(const MapReduceRuntime&) = delete;
+  MapReduceRuntime& operator=(const MapReduceRuntime&) = delete;
+
+  /// Submits a job; `on_complete` fires when its merge task finishes.
+  void run(const MapReduceSpec& spec, Callback on_complete);
+
+  [[nodiscard]] Cluster& cluster() noexcept { return cluster_; }
+  [[nodiscard]] std::size_t jobs_in_flight() const noexcept { return in_flight_.size(); }
+  [[nodiscard]] const std::vector<MapReduceRecord>& completed() const noexcept {
+    return completed_;
+  }
+
+ private:
+  struct InFlight {
+    MapReduceSpec spec;
+    cbs::sim::SimTime submitted = 0.0;
+    int maps_remaining = 0;
+    Callback on_complete;
+  };
+
+  void on_map_done(std::uint64_t job_id);
+  void start_merge(std::uint64_t job_id);
+
+  cbs::sim::Simulation& sim_;
+  Cluster& cluster_;
+  std::unordered_map<std::uint64_t, InFlight> in_flight_;
+  std::vector<MapReduceRecord> completed_;
+};
+
+}  // namespace cbs::compute

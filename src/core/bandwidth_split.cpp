@@ -1,0 +1,101 @@
+#include "core/bandwidth_split.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "sla/slack.hpp"
+
+namespace cbs::core {
+
+std::optional<SizeIntervalBounds> compute_size_interval_bounds(
+    const std::vector<cbs::workload::Document>& batch, const BeliefState& belief,
+    cbs::sim::SimTime now, std::size_t ic_machines,
+    const std::vector<double>& queue_backlog_bytes) {
+  assert(queue_backlog_bytes.size() == 3);
+  const auto n = static_cast<double>(ic_machines);
+
+  // Lines 3–12: collect the sizes of burst-eligible jobs — those whose
+  // no-load round trip fits within the believed IC drain horizon that keeps
+  // growing as eligible jobs are (hypothetically) kept local.
+  const double iload = belief.ic_backlog_standard_seconds() / n;
+  double rload = 0.0;
+  std::vector<double> eligible_sizes;  // the list L
+  for (const auto& doc : batch) {
+    const double t_ec = belief.ec_round_trip_no_load(doc, now);
+    if (t_ec < iload + rload / n) {
+      eligible_sizes.push_back(doc.features.size_mb);
+      rload += belief.estimate_service(doc);
+    }
+  }
+  if (eligible_sizes.empty()) return std::nullopt;
+
+  // Line 13: normalized left-over capacity of each queue. An empty system
+  // degenerates to equal thirds.
+  const double total_backlog =
+      queue_backlog_bytes[0] + queue_backlog_bytes[1] + queue_backlog_bytes[2];
+  double leftover[3];
+  if (total_backlog <= 0.0) {
+    leftover[0] = leftover[1] = leftover[2] = 1.0;
+  } else {
+    for (int q = 0; q < 3; ++q) {
+      leftover[q] = 1.0 - queue_backlog_bytes[static_cast<std::size_t>(q)] /
+                              total_backlog;
+    }
+  }
+  const double leftover_sum = leftover[0] + leftover[1] + leftover[2];
+  assert(leftover_sum > 0.0);
+
+  // Lines 14–17: sort L and cut it proportionally to the left-over shares;
+  // the partition boundaries become the small/medium upper bounds.
+  std::sort(eligible_sizes.begin(), eligible_sizes.end());
+  const auto count = static_cast<double>(eligible_sizes.size());
+  const auto small_count = static_cast<std::size_t>(
+      std::floor(count * leftover[0] / leftover_sum));
+  const auto medium_count = static_cast<std::size_t>(
+      std::floor(count * leftover[1] / leftover_sum));
+
+  SizeIntervalBounds bounds;
+  if (small_count > 0) {
+    bounds.small_upper_mb = eligible_sizes[small_count - 1];
+  } else {
+    bounds.small_upper_mb = eligible_sizes.front();
+  }
+  const std::size_t medium_last =
+      std::min(eligible_sizes.size() - 1, small_count + std::max<std::size_t>(
+                                                            medium_count, 1) -
+                                              1);
+  bounds.medium_upper_mb =
+      std::max(eligible_sizes[medium_last], bounds.small_upper_mb);
+  return bounds;
+}
+
+std::vector<ScheduleDecision> BandwidthSplitScheduler::schedule_batch(
+    std::vector<cbs::workload::Document> docs, Context& ctx) {
+  // Bound computation sees the batch *after* chunking — the chunks are the
+  // uploadable units whose sizes the queues must balance.
+  apply_chunking(docs, ctx);
+  if (auto bounds = compute_size_interval_bounds(
+          docs, ctx.belief, ctx.now, ctx.ic_machines,
+          ctx.upload_class_backlog_bytes)) {
+    bounds_ = *bounds;
+  }
+
+  std::vector<ScheduleDecision> out;
+  out.reserve(docs.size());
+  for (const auto& doc : docs) {
+    out.push_back(place(doc, ctx));
+  }
+  return out;
+}
+
+ScheduleDecision BandwidthSplitScheduler::place(
+    const cbs::workload::Document& doc, Context& ctx) {
+  ScheduleDecision d = OrderPreservingScheduler::place(doc, ctx);
+  if (d.placement == cbs::sla::Placement::kExternal) {
+    d.upload_class = bounds_.class_of(doc.features.size_mb);
+  }
+  return d;
+}
+
+}  // namespace cbs::core

@@ -1,0 +1,175 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "models/estimator.hpp"
+#include "net/bandwidth_estimator.hpp"
+#include "simcore/time.hpp"
+#include "workload/document.hpp"
+
+namespace cbs::core {
+
+/// How a scheduler reads the network when estimating transfers.
+/// kLearned uses the per-slot EWMA model (§III.A.2); kTransient uses the
+/// latest raw observation — Algorithm 1's "current transit bandwidth",
+/// whose fragility §IV.D analyses.
+enum class BandwidthView : std::uint8_t { kLearned, kTransient };
+
+/// Breakdown of an estimated external round trip (the terms of Eq. 2).
+struct EcEstimate {
+  double upload_seconds = 0.0;
+  double ec_wait_seconds = 0.0;      ///< queueing behind earlier EC work
+  double processing_seconds = 0.0;   ///< wall time on the EC cluster
+  double download_seconds = 0.0;
+  cbs::sim::SimTime finish = 0.0;    ///< absolute estimated completion (ft^ec)
+};
+
+/// The scheduler's belief about the state of both clouds — everything the
+/// finish-time estimators ft^ic(i,S) and ft^ec(i,S) of §III.A condition on.
+///
+/// The belief is built only from information a real controller has: its own
+/// placement decisions, the QRSM's service estimates, the EWMA bandwidth
+/// estimates, and completion notifications. It never peeks at ground truth
+/// (link noise state, realized service times); the gap between belief and
+/// reality is exactly the estimation error whose consequences §IV.D
+/// analyses.
+class BeliefState {
+ public:
+  /// `*_job_parallelism` is how many machines one job's tasks can occupy
+  /// at once (TopologyConfig::max_map_tasks_per_job clamped to the cluster
+  /// size) — it divides the job's own service time, while the backlog
+  /// always drains at full aggregate rate.
+  BeliefState(const cbs::models::ProcessingTimeEstimator& service_estimator,
+              const cbs::net::BandwidthEstimator& uplink_estimator,
+              const cbs::net::BandwidthEstimator& downlink_estimator,
+              std::size_t ic_machines, double ic_speed, std::size_t ec_machines,
+              double ec_speed, int ic_job_parallelism = 1,
+              int ec_job_parallelism = 1, double ec_job_overhead_seconds = 0.0);
+
+  /// Estimated standard-machine service seconds for a document (t^e(i)).
+  [[nodiscard]] double estimate_service(const cbs::workload::Document& doc) const;
+
+  /// ft^ic: estimated absolute completion time if `doc` were appended to
+  /// the internal queue now. The cluster is modeled as draining its
+  /// estimated backlog at aggregate rate (machines × speed) — accurate for
+  /// the map-task-granular FCFS dispatch the controller uses.
+  [[nodiscard]] cbs::sim::SimTime ft_ic(const cbs::workload::Document& doc,
+                                        cbs::sim::SimTime now) const;
+
+  /// ft^ec with the full round-trip breakdown: upload-queue drain + upload,
+  /// EC backlog, processing, download (Eq. 2's terms).
+  [[nodiscard]] EcEstimate ft_ec(const cbs::workload::Document& doc,
+                                 cbs::sim::SimTime now) const;
+
+  /// ft^ec ignoring all queueing (Algorithm 3, line 5: completion "under no
+  /// load": t_up + e_ec + t_down).
+  [[nodiscard]] double ec_round_trip_no_load(const cbs::workload::Document& doc,
+                                             cbs::sim::SimTime now) const;
+
+  /// The *job-level* ft^ec of Algorithm 1: the greedy scheduler evaluates
+  /// each job against the state of the system as observed at batch arrival
+  /// (`observed_upload_backlog_bytes` is the real upload queue then) — but
+  /// it does NOT model the backlog its own earlier in-batch decisions are
+  /// creating. This blind spot is precisely how greedy-bursted jobs end up
+  /// on the critical path (§IV.D): each decision looks locally fine, and
+  /// the queueing delay only materializes at download time.
+  [[nodiscard]] EcEstimate ft_ec_job_level(
+      const cbs::workload::Document& doc, cbs::sim::SimTime now,
+      double observed_upload_backlog_bytes,
+      double observed_download_backlog_bytes) const;
+
+  /// Eq. 1: the cushion for the next job to be scheduled — the latest
+  /// estimated completion among all outstanding (committed, not completed)
+  /// jobs, which all precede it in the queue. `now` when nothing is ahead.
+  [[nodiscard]] cbs::sim::SimTime slack(cbs::sim::SimTime now) const;
+
+  /// Estimated drain time of the internal cloud (absolute).
+  [[nodiscard]] cbs::sim::SimTime ic_drain_time(cbs::sim::SimTime now) const;
+
+  /// Estimated IC backlog in standard seconds (Algorithm 3's iload, as
+  /// wall-clock seconds once divided by capacity).
+  [[nodiscard]] double ic_backlog_standard_seconds() const noexcept {
+    return ic_outstanding_seconds_;
+  }
+
+  // ---- Commitments (called by the controller as decisions are made) ----
+
+  /// Records an IC placement of `seq` with the given service estimate.
+  void commit_ic(std::uint64_t seq, double estimated_service);
+  /// Records an EC placement with its round-trip estimate.
+  void commit_ec(std::uint64_t seq, const cbs::workload::Document& doc,
+                 const EcEstimate& estimate);
+
+  // ---- Observations (completion notifications) ----
+
+  void on_ic_complete(std::uint64_t seq);
+  void on_ec_complete(std::uint64_t seq);
+  /// An upload finished; removes its bytes from the believed upload backlog.
+  void on_upload_complete(double bytes);
+
+  /// Moves a job between clouds (rescheduler support). The caller supplies
+  /// the new estimate for the receiving side.
+  void retract_ic(std::uint64_t seq);
+  void retract_ec(std::uint64_t seq, double pending_upload_bytes);
+
+  [[nodiscard]] std::size_t outstanding_ic_jobs() const noexcept {
+    return ic_jobs_.size();
+  }
+  [[nodiscard]] std::size_t outstanding_ec_jobs() const noexcept {
+    return ec_jobs_.size();
+  }
+  [[nodiscard]] double upload_backlog_bytes() const noexcept {
+    return upload_backlog_bytes_;
+  }
+
+  void set_bandwidth_view(BandwidthView view) noexcept { view_ = view; }
+  [[nodiscard]] BandwidthView bandwidth_view() const noexcept { return view_; }
+
+  /// Elastic EC support: the believed external machine count follows the
+  /// actual provisioning level.
+  void set_ec_machines(std::size_t machines) noexcept {
+    if (machines > 0) ec_machines_ = machines;
+  }
+  [[nodiscard]] std::size_t ec_machines() const noexcept { return ec_machines_; }
+
+ private:
+  [[nodiscard]] double ic_capacity() const noexcept {
+    return static_cast<double>(ic_machines_) * ic_speed_;
+  }
+  [[nodiscard]] double ec_capacity() const noexcept {
+    return static_cast<double>(ec_machines_) * ec_speed_;
+  }
+
+  [[nodiscard]] double upload_seconds_for(cbs::sim::SimTime t,
+                                          double bytes) const;
+  [[nodiscard]] double download_seconds_for(cbs::sim::SimTime t,
+                                            double bytes) const;
+
+  const cbs::models::ProcessingTimeEstimator& service_estimator_;
+  const cbs::net::BandwidthEstimator& uplink_;
+  const cbs::net::BandwidthEstimator& downlink_;
+  std::size_t ic_machines_;
+  double ic_speed_;
+  std::size_t ec_machines_;
+  double ec_speed_;
+  double ic_job_rate_;  ///< speed × job parallelism on the IC
+  double ec_job_rate_;  ///< speed × job parallelism on the EC
+  double ec_job_overhead_;  ///< fixed wall-clock overhead per EC job
+
+  // Outstanding IC jobs: seq -> estimated standard seconds.
+  std::map<std::uint64_t, double> ic_jobs_;
+  double ic_outstanding_seconds_ = 0.0;
+  // Outstanding EC jobs: seq -> (estimated absolute completion, estimated
+  // EC processing seconds still ahead of the store).
+  struct EcJob {
+    cbs::sim::SimTime est_finish = 0.0;
+    double processing_seconds = 0.0;
+  };
+  std::map<std::uint64_t, EcJob> ec_jobs_;
+  double ec_outstanding_seconds_ = 0.0;
+  double upload_backlog_bytes_ = 0.0;
+  BandwidthView view_ = BandwidthView::kLearned;
+};
+
+}  // namespace cbs::core

@@ -1,0 +1,420 @@
+#include "core/controller.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <string>
+
+#include "models/per_class_qrsm.hpp"
+#include "sla/slack.hpp"
+
+namespace cbs::core {
+
+using cbs::sim::SimTime;
+using cbs::sla::Placement;
+
+namespace {
+
+std::unique_ptr<models::ProcessingTimeEstimator> make_estimator(
+    EstimatorKind kind, const cbs::workload::GroundTruthModel& truth) {
+  switch (kind) {
+    case EstimatorKind::kQrsm:
+      return std::make_unique<models::QrsmEstimator>();
+    case EstimatorKind::kOracle:
+      return std::make_unique<models::OracleEstimator>(truth);
+    case EstimatorKind::kPerClassQrsm:
+      return std::make_unique<models::PerClassQrsmEstimator>();
+  }
+  assert(false && "unknown estimator kind");
+  return nullptr;
+}
+
+std::string input_key(std::uint64_t seq) { return "in/" + std::to_string(seq); }
+std::string output_key(std::uint64_t seq) { return "out/" + std::to_string(seq); }
+
+}  // namespace
+
+CloudBurstController::CloudBurstController(cbs::sim::Simulation& sim,
+                                           ControllerConfig config,
+                                           cbs::workload::GroundTruthModel& truth,
+                                           cbs::sim::RngStream rng)
+    : sim_(sim),
+      config_(std::move(config)),
+      truth_(truth),
+      log_("controller"),
+      ic_cluster_(sim, "ic", config_.topology.ic_machines, config_.topology.ic_speed),
+      ec_cluster_(sim, "ec", config_.topology.ec_machines, config_.topology.ec_speed),
+      ic_runtime_(sim, ic_cluster_),
+      ec_runtime_(sim, ec_cluster_),
+      uplink_(sim, config_.uplink, rng.substream("uplink")),
+      downlink_(sim, config_.downlink, rng.substream("downlink")),
+      store_(sim),
+      uplink_estimator_(config_.bandwidth_estimator),
+      downlink_estimator_(config_.bandwidth_estimator),
+      up_tuner_(config_.thread_tuner),
+      down_tuner_(config_.thread_tuner),
+      proc_estimator_(make_estimator(config_.estimator, truth)),
+      belief_(*proc_estimator_, uplink_estimator_, downlink_estimator_,
+              config_.topology.ic_machines, config_.topology.ic_speed,
+              config_.topology.ec_machines, config_.topology.ec_speed,
+              config_.topology.max_map_tasks_per_job,
+              config_.topology.max_map_tasks_per_job,
+              config_.topology.ec_job_overhead_seconds),
+      scheduler_(make_scheduler(config_.scheduler)),
+      upload_queues_(sim, uplink_, up_tuner_,
+                     config_.scheduler == SchedulerKind::kBandwidthSplit
+                         ? config_.params.size_interval_queues
+                         : 1,
+                     config_.scheduler == SchedulerKind::kBandwidthSplit
+                         ? 1
+                         : config_.single_queue_upload_slots),
+      download_queue_(sim, downlink_, down_tuner_, 1, config_.download_slots) {
+  upload_queues_.set_on_complete(
+      [this](std::uint64_t seq, int, const net::TransferRecord& rec) {
+        on_upload_done(seq, rec);
+      });
+  download_queue_.set_on_complete(
+      [this](std::uint64_t seq, int, const net::TransferRecord& rec) {
+        on_download_done(seq, rec);
+      });
+  ic_cluster_.set_task_done_hook([this] { dispatch_ic(); });
+  if (config_.scheduler == SchedulerKind::kGreedy) {
+    // Algorithm 1 conditions on "the current transit bandwidth" — the
+    // transient reading, not the learned time-of-day model (§IV.D).
+    belief_.set_bandwidth_view(BandwidthView::kTransient);
+  }
+  if (config_.enable_rescheduler) {
+    ic_cluster_.set_idle_hook([this](std::size_t) { maybe_pull_back(); });
+  }
+}
+
+void CloudBurstController::pretrain(
+    const std::vector<cbs::workload::Document>& docs,
+    const std::vector<double>& observed_runtimes) {
+  assert(docs.size() == observed_runtimes.size());
+  if (auto* per_class =
+          dynamic_cast<models::PerClassQrsmEstimator*>(proc_estimator_.get())) {
+    per_class->pretrain(docs, observed_runtimes);
+    return;
+  }
+  auto* qrsm = dynamic_cast<models::QrsmEstimator*>(proc_estimator_.get());
+  if (qrsm == nullptr) return;  // oracle needs no training
+  std::vector<cbs::workload::DocumentFeatures> features;
+  features.reserve(docs.size());
+  for (const auto& d : docs) features.push_back(d.features);
+  qrsm->model().fit(features, observed_runtimes);
+}
+
+Job& CloudBurstController::job_at(std::uint64_t seq) {
+  auto it = jobs_.find(seq);
+  assert(it != jobs_.end());
+  return it->second;
+}
+
+void CloudBurstController::on_batch(const cbs::workload::Batch& batch) {
+  Scheduler::Context ctx{
+      .now = sim_.now(),
+      .belief = belief_,
+      .params = config_.params,
+      .truth = truth_,
+      .next_seq = &next_seq_,
+      .next_doc_id = &next_doc_id_,
+      .ic_machines = config_.topology.ic_machines,
+      .upload_class_backlog_bytes = upload_queues_.backlog_bytes_per_class(),
+      .download_backlog_bytes = download_queue_.total_backlog_bytes(),
+  };
+  auto decisions = scheduler_->schedule_batch(batch.documents, ctx);
+
+  for (auto& d : decisions) {
+    Job job;
+    job.seq_id = d.seq_id;
+    job.doc = d.doc;
+    job.batch_index = batch.batch_index;
+    job.arrival = sim_.now();
+    job.scheduled_time = sim_.now();
+    job.placement = d.placement;
+    job.estimated_service_seconds = d.estimated_service_seconds;
+    // Realized service is a deterministic function of the document's
+    // identity, so the job is identical work wherever (and under whichever
+    // scheduler) it runs; only the simulated clusters consume this value.
+    job.true_service_seconds = truth_.realized_seconds(d.doc);
+
+    auto [it, inserted] = jobs_.emplace(d.seq_id, std::move(job));
+    assert(inserted);
+    ++outstanding_;
+
+    if (d.placement == Placement::kInternal) {
+      set_state(it->second, JobState::kIcWaiting);
+      ic_wait_.push_back(d.seq_id);
+    } else {
+      set_state(it->second, JobState::kUploadQueued);
+      upload_queues_.enqueue(d.seq_id, d.doc.input_bytes(), d.upload_class);
+    }
+  }
+  dispatch_ic();
+  ensure_probing();
+  ensure_elastic_check();
+  if (config_.enable_rescheduler && upload_queues_.idle()) {
+    maybe_push_out();
+  }
+}
+
+compute::MapReduceSpec CloudBurstController::spec_for(const Job& job,
+                                                      double merge_per_mb) const {
+  compute::MapReduceSpec spec;
+  spec.job_id = job.seq_id;
+  spec.total_map_seconds = job.true_service_seconds;
+  // Task granularity is capped by the per-job slot limit: with a cap of k,
+  // splitting finer than k tasks cannot add concurrency, so we emit at most
+  // k (equal) tasks.
+  spec.num_map_tasks = std::clamp(
+      static_cast<int>(
+          std::ceil(job.doc.features.size_mb / config_.topology.map_chunk_mb)),
+      1, config_.topology.max_map_tasks_per_job);
+  spec.merge_seconds = merge_per_mb * job.doc.output_size_mb;
+  return spec;
+}
+
+void CloudBurstController::dispatch_ic() {
+  // Feed-ahead window: keep about one machine's worth of tasks queued, so
+  // machines never starve while preserving the controller's ability to
+  // reschedule jobs that have not started (the §IV.D strategies).
+  while (!ic_wait_.empty() &&
+         ic_cluster_.queued_tasks() < config_.topology.ic_machines) {
+    const std::uint64_t seq = ic_wait_.front();
+    ic_wait_.pop_front();
+    run_on_ic(seq);
+  }
+  if (config_.enable_rescheduler && ic_wait_.empty() && ic_cluster_.idle()) {
+    maybe_pull_back();
+  }
+}
+
+void CloudBurstController::set_state(Job& job, JobState state) {
+  job.state = state;
+  if (config_.record_stage_log) {
+    stage_log_.push_back(StageEvent{job.seq_id, state, sim_.now()});
+  }
+}
+
+void CloudBurstController::run_on_ic(std::uint64_t seq) {
+  Job& job = job_at(seq);
+  set_state(job, JobState::kIcRunning);
+  ic_runtime_.run(spec_for(job, config_.topology.merge_seconds_per_output_mb),
+                  [this, seq](const compute::MapReduceRecord&) {
+                    on_ic_done(seq);
+                  });
+}
+
+void CloudBurstController::on_ic_done(std::uint64_t seq) {
+  Job& job = job_at(seq);
+  belief_.on_ic_complete(seq);
+  proc_estimator_->observe(job.doc, job.true_service_seconds);
+  finish_job(job);
+  dispatch_ic();
+  // Each internal completion is a fresh look at the §IV.D condition: "when
+  // the EC upload queue is idle and IC has jobs waiting to execute".
+  if (config_.enable_rescheduler && upload_queues_.idle() && outstanding_ > 0) {
+    maybe_push_out();
+  }
+}
+
+void CloudBurstController::on_upload_done(std::uint64_t seq,
+                                          const net::TransferRecord& rec) {
+  uplink_estimator_.observe(sim_.now(), rec.transfer_rate());
+  up_tuner_.report(sim_.now(), rec.threads, rec.transfer_rate());
+  belief_.on_upload_complete(rec.bytes);
+
+  Job& job = job_at(seq);
+  set_state(job, JobState::kEcRunning);
+  store_.put(input_key(seq), rec.bytes);
+  compute::MapReduceSpec spec =
+      spec_for(job, config_.topology.merge_seconds_per_output_mb);
+  // EMR job setup/staging occupies the executing instance; book it on the
+  // merge task (speed-scaled so it costs the configured wall seconds).
+  spec.merge_seconds +=
+      config_.topology.ec_job_overhead_seconds * config_.topology.ec_speed;
+  ec_runtime_.run(spec,
+                  [this, seq](const compute::MapReduceRecord&) {
+                    on_ec_proc_done(seq);
+                  });
+
+  if (config_.enable_rescheduler && upload_queues_.idle()) {
+    maybe_push_out();
+  }
+}
+
+void CloudBurstController::on_ec_proc_done(std::uint64_t seq) {
+  Job& job = job_at(seq);
+  // The merge task already covered compression cost; swap input for the
+  // compressed output in the store and ship it home.
+  store_.erase(input_key(seq));
+  store_.put(output_key(seq), job.doc.output_bytes());
+  set_state(job, JobState::kDownloading);
+  download_queue_.enqueue(seq, job.doc.output_bytes(), 0);
+}
+
+void CloudBurstController::on_download_done(std::uint64_t seq,
+                                            const net::TransferRecord& rec) {
+  downlink_estimator_.observe(sim_.now(), rec.transfer_rate());
+  down_tuner_.report(sim_.now(), rec.threads, rec.transfer_rate());
+
+  Job& job = job_at(seq);
+  store_.erase(output_key(seq));
+  belief_.on_ec_complete(seq);
+  proc_estimator_->observe(job.doc, job.true_service_seconds);
+  finish_job(job);
+}
+
+void CloudBurstController::finish_job(Job& job) {
+  set_state(job, JobState::kCompleted);
+  job.completed_time = sim_.now();
+  outcomes_.push_back(job.to_outcome());
+  assert(outstanding_ > 0);
+  --outstanding_;
+  log_.debug(sim_.now(), "job ", job.seq_id, " done on ",
+             cbs::sla::to_string(job.placement));
+}
+
+sla::CostInputs CloudBurstController::cost_inputs() const {
+  sla::CostInputs in;
+  in.ec_provisioned_machine_seconds = ec_cluster_.provisioned_machine_seconds();
+  in.uplink_bytes = uplink_.total_bytes_delivered();
+  in.downlink_bytes = downlink_.total_bytes_delivered();
+  in.store_byte_seconds = store_.occupancy_byte_seconds();
+  in.ic_machine_seconds = ic_cluster_.provisioned_machine_seconds();
+  return in;
+}
+
+// ---- autonomic probing (§III.A.2) -----------------------------------
+
+void CloudBurstController::ensure_probing() {
+  if (probe_scheduled_ || config_.probe_interval <= 0.0) return;
+  probe_scheduled_ = true;
+  sim_.schedule_in(config_.probe_interval, [this] { probe(); });
+}
+
+void CloudBurstController::probe() {
+  probe_scheduled_ = false;
+  if (outstanding_ == 0) return;  // run over; stop generating events
+
+  const int up_threads = up_tuner_.suggest(sim_.now());
+  uplink_.submit(config_.probe_bytes, up_threads,
+                 [this](const net::TransferRecord& rec) {
+                   uplink_estimator_.observe(sim_.now(), rec.transfer_rate());
+                   up_tuner_.report(sim_.now(), rec.threads, rec.transfer_rate());
+                 });
+  const int down_threads = down_tuner_.suggest(sim_.now());
+  downlink_.submit(config_.probe_bytes, down_threads,
+                   [this](const net::TransferRecord& rec) {
+                     downlink_estimator_.observe(sim_.now(), rec.transfer_rate());
+                     down_tuner_.report(sim_.now(), rec.threads,
+                                        rec.transfer_rate());
+                   });
+  ensure_probing();
+}
+
+// ---- elastic EC scaling (§V.B.4 future work, behind a flag) -------------
+
+void CloudBurstController::ensure_elastic_check() {
+  if (!config_.elastic_ec.enabled || elastic_check_scheduled_) return;
+  elastic_check_scheduled_ = true;
+  sim_.schedule_in(config_.elastic_ec.check_interval, [this] { elastic_check(); });
+}
+
+void CloudBurstController::elastic_check() {
+  elastic_check_scheduled_ = false;
+  if (outstanding_ == 0) return;  // run over; let the simulation drain
+  const ElasticEcConfig& e = config_.elastic_ec;
+
+  const std::size_t provisioned = ec_cluster_.machine_count() + pending_boots_;
+  // Believed wait of a newly arriving EC job behind the current queue.
+  const double wait_seconds =
+      ec_cluster_.queued_standard_seconds() /
+      (static_cast<double>(std::max<std::size_t>(provisioned, 1)) *
+       config_.topology.ec_speed);
+
+  if (wait_seconds > e.grow_wait_threshold_seconds &&
+      provisioned < e.max_machines) {
+    ++pending_boots_;
+    ++scale_ups_;
+    log_.info(sim_.now(), "elastic EC: scaling up to ", provisioned + 1);
+    sim_.schedule_in(e.boot_delay, [this] {
+      --pending_boots_;
+      ec_cluster_.add_machine();
+      belief_.set_ec_machines(ec_cluster_.machine_count());
+    });
+  } else if (provisioned > e.min_machines && pending_boots_ == 0) {
+    const auto idle = static_cast<double>(ec_cluster_.machine_count() -
+                                          ec_cluster_.running_tasks());
+    if (ec_cluster_.queued_tasks() == 0 &&
+        idle > e.shrink_idle_fraction *
+                   static_cast<double>(ec_cluster_.machine_count())) {
+      if (ec_cluster_.remove_machine()) {
+        ++scale_downs_;
+        belief_.set_ec_machines(ec_cluster_.machine_count());
+        log_.info(sim_.now(), "elastic EC: scaling down to ",
+                  ec_cluster_.machine_count());
+      }
+    }
+  }
+  ensure_elastic_check();
+}
+
+// ---- §IV.D rescheduling strategies (paper future work, behind a flag) --
+
+void CloudBurstController::maybe_pull_back() {
+  // An internal machine is idle with nothing waiting: reclaim the earliest
+  // still-queued upload whose believed external completion is further away
+  // than an internal re-execution.
+  const auto tags = upload_queues_.queued_tags();
+  for (const std::uint64_t seq : tags) {
+    Job& job = job_at(seq);
+    const double reexec_seconds =
+        job.estimated_service_seconds /
+        (static_cast<double>(config_.topology.ic_machines) *
+         config_.topology.ic_speed);
+    const double remaining_ec =
+        belief_.ec_round_trip_no_load(job.doc, sim_.now());
+    if (remaining_ec <= reexec_seconds) continue;
+    if (!upload_queues_.try_cancel(seq)) continue;
+
+    belief_.retract_ec(seq, job.doc.input_bytes());
+    belief_.commit_ic(seq, job.estimated_service_seconds);
+    job.placement = Placement::kInternal;
+    set_state(job, JobState::kIcWaiting);
+    ic_wait_.push_back(seq);
+    ++pull_backs_;
+    log_.info(sim_.now(), "pull-back of job ", seq, " to IC");
+    dispatch_ic();
+    return;
+  }
+}
+
+void CloudBurstController::maybe_push_out() {
+  // The upload pipe is idle while internal jobs wait: scan the IC wait
+  // queue from the tail for a job whose round trip fits the current slack.
+  for (auto it = ic_wait_.rbegin(); it != ic_wait_.rend(); ++it) {
+    const std::uint64_t seq = *it;
+    Job& job = job_at(seq);
+    // The cushion must exclude the candidate's own believed IC work, so
+    // retract first and re-commit if the move is rejected.
+    belief_.retract_ic(seq);
+    const EcEstimate ec = belief_.ft_ec(job.doc, sim_.now());
+    if (!cbs::sla::satisfies_slack(ec.finish, belief_.slack(sim_.now()),
+                                   config_.params.slack_safety_margin)) {
+      belief_.commit_ic(seq, job.estimated_service_seconds);
+      continue;
+    }
+    ic_wait_.erase(std::next(it).base());
+    belief_.commit_ec(seq, job.doc, ec);
+    job.placement = Placement::kExternal;
+    set_state(job, JobState::kUploadQueued);
+    upload_queues_.enqueue(seq, job.doc.input_bytes(), 0);
+    ++push_outs_;
+    log_.info(sim_.now(), "push-out of job ", seq, " to EC");
+    return;
+  }
+}
+
+}  // namespace cbs::core

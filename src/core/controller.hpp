@@ -1,0 +1,161 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compute/cluster.hpp"
+#include "compute/job_store.hpp"
+#include "compute/mapreduce.hpp"
+#include "core/belief_state.hpp"
+#include "core/config.hpp"
+#include "core/job.hpp"
+#include "core/scheduler.hpp"
+#include "core/upload_queues.hpp"
+#include "models/estimator.hpp"
+#include "net/bandwidth_estimator.hpp"
+#include "net/link.hpp"
+#include "net/thread_tuner.hpp"
+#include "simcore/logging.hpp"
+#include "simcore/rng.hpp"
+#include "simcore/simulation.hpp"
+#include "sla/cost.hpp"
+#include "sla/job_outcome.hpp"
+#include "workload/arrival.hpp"
+#include "workload/ground_truth.hpp"
+
+namespace cbs::core {
+
+/// The cloud-bursting controller: the pipelined, event-based architecture
+/// of the paper's Fig. 5, wiring together
+///
+///   job queue → scheduler → { IC MapReduce }  or
+///                           { upload queue(s) → EC store → EC MapReduce →
+///                             compress/merge → download queue } → results
+///
+/// Every stage is asynchronous; the controller reacts to completion events.
+/// It owns the autonomic loop: QRSM observations after every job, EWMA
+/// bandwidth updates after every transfer, periodic 1 MB probes, and
+/// thread-count tuning.
+class CloudBurstController {
+ public:
+  CloudBurstController(cbs::sim::Simulation& sim, ControllerConfig config,
+                       cbs::workload::GroundTruthModel& truth,
+                       cbs::sim::RngStream rng);
+  CloudBurstController(const CloudBurstController&) = delete;
+  CloudBurstController& operator=(const CloudBurstController&) = delete;
+
+  /// Seeds the QRSM with a labeled factory corpus (§III.A.1: "initial best
+  /// estimate model based on a standard set of production data"). No-op for
+  /// the oracle estimator.
+  void pretrain(const std::vector<cbs::workload::Document>& docs,
+                const std::vector<double>& observed_runtimes);
+
+  /// Handles one arriving batch (wire this to BatchArrivalProcess).
+  void on_batch(const cbs::workload::Batch& batch);
+
+  // ---- results & introspection -------------------------------------
+
+  [[nodiscard]] const std::vector<cbs::sla::JobOutcome>& outcomes() const noexcept {
+    return outcomes_;
+  }
+  [[nodiscard]] std::size_t outstanding_jobs() const noexcept { return outstanding_; }
+  [[nodiscard]] const compute::Cluster& ic_cluster() const noexcept { return ic_cluster_; }
+  [[nodiscard]] const compute::Cluster& ec_cluster() const noexcept { return ec_cluster_; }
+  [[nodiscard]] const net::Link& uplink() const noexcept { return uplink_; }
+  [[nodiscard]] const net::Link& downlink() const noexcept { return downlink_; }
+  [[nodiscard]] const compute::JobStore& store() const noexcept { return store_; }
+  [[nodiscard]] const net::BandwidthEstimator& uplink_estimator() const noexcept {
+    return uplink_estimator_;
+  }
+  [[nodiscard]] const net::BandwidthEstimator& downlink_estimator() const noexcept {
+    return downlink_estimator_;
+  }
+  [[nodiscard]] const net::ThreadTuner& upload_tuner() const noexcept {
+    return up_tuner_;
+  }
+  [[nodiscard]] const models::ProcessingTimeEstimator& service_estimator() const {
+    return *proc_estimator_;
+  }
+  [[nodiscard]] const Scheduler& scheduler() const noexcept { return *scheduler_; }
+  [[nodiscard]] const ControllerConfig& config() const noexcept { return config_; }
+  /// Number of §IV.D rescheduler interventions that occurred.
+  [[nodiscard]] std::size_t pull_backs() const noexcept { return pull_backs_; }
+  [[nodiscard]] std::size_t push_outs() const noexcept { return push_outs_; }
+  /// Elastic-EC activity (scale-ups / scale-downs performed).
+  [[nodiscard]] std::size_t scale_ups() const noexcept { return scale_ups_; }
+  [[nodiscard]] std::size_t scale_downs() const noexcept { return scale_downs_; }
+  /// Billing inputs accumulated so far (provisioned EC machine-seconds,
+  /// bytes moved each way, staging byte-seconds, IC machine-seconds).
+  [[nodiscard]] sla::CostInputs cost_inputs() const;
+
+  /// One pipeline-stage transition of one job (recorded when
+  /// ControllerConfig::record_stage_log is set).
+  struct StageEvent {
+    std::uint64_t seq_id = 0;
+    JobState state = JobState::kArrived;
+    cbs::sim::SimTime time = 0.0;
+  };
+  [[nodiscard]] const std::vector<StageEvent>& stage_log() const noexcept {
+    return stage_log_;
+  }
+
+ private:
+  void dispatch_ic();
+  void run_on_ic(std::uint64_t seq);
+  void on_ic_done(std::uint64_t seq);
+  void on_upload_done(std::uint64_t seq, const net::TransferRecord& rec);
+  void on_ec_proc_done(std::uint64_t seq);
+  void on_download_done(std::uint64_t seq, const net::TransferRecord& rec);
+  void finish_job(Job& job);
+  void set_state(Job& job, JobState state);
+  void ensure_probing();
+  void probe();
+  void ensure_elastic_check();
+  void elastic_check();
+  void maybe_pull_back();
+  void maybe_push_out();
+  [[nodiscard]] compute::MapReduceSpec spec_for(const Job& job,
+                                                double merge_per_mb) const;
+  [[nodiscard]] Job& job_at(std::uint64_t seq);
+
+  cbs::sim::Simulation& sim_;
+  ControllerConfig config_;
+  cbs::workload::GroundTruthModel& truth_;
+  sim::Logger log_;
+
+  compute::Cluster ic_cluster_;
+  compute::Cluster ec_cluster_;
+  compute::MapReduceRuntime ic_runtime_;
+  compute::MapReduceRuntime ec_runtime_;
+  net::Link uplink_;
+  net::Link downlink_;
+  compute::JobStore store_;
+  net::BandwidthEstimator uplink_estimator_;
+  net::BandwidthEstimator downlink_estimator_;
+  net::ThreadTuner up_tuner_;
+  net::ThreadTuner down_tuner_;
+  std::unique_ptr<models::ProcessingTimeEstimator> proc_estimator_;
+  BeliefState belief_;
+  std::unique_ptr<Scheduler> scheduler_;
+  TransferQueueSet upload_queues_;
+  TransferQueueSet download_queue_;
+
+  std::map<std::uint64_t, Job> jobs_;
+  std::deque<std::uint64_t> ic_wait_;  ///< IC feed queue (enables rescheduling)
+  std::vector<cbs::sla::JobOutcome> outcomes_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_doc_id_ = 1ULL << 32;  ///< chunk ids, disjoint from inputs
+  std::size_t outstanding_ = 0;
+  bool probe_scheduled_ = false;
+  std::size_t pull_backs_ = 0;
+  std::size_t push_outs_ = 0;
+  std::vector<StageEvent> stage_log_;
+  bool elastic_check_scheduled_ = false;
+  std::size_t pending_boots_ = 0;  ///< instances spinning up
+  std::size_t scale_ups_ = 0;
+  std::size_t scale_downs_ = 0;
+};
+
+}  // namespace cbs::core

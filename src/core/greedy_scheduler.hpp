@@ -1,0 +1,19 @@
+#pragma once
+
+#include "core/scheduler.hpp"
+
+namespace cbs::core {
+
+/// Algorithm 1 — the job-level greedy choice: each job goes where its
+/// estimated finish time is earlier. Simple, but bursted jobs can land on
+/// the critical path: a download delayed by a bandwidth dip directly delays
+/// in-order consumption (§IV.D), which is what Fig. 7–10 penalize.
+class GreedyScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "greedy"; }
+
+  [[nodiscard]] std::vector<ScheduleDecision> schedule_batch(
+      std::vector<cbs::workload::Document> docs, Context& ctx) override;
+};
+
+}  // namespace cbs::core

@@ -1,0 +1,321 @@
+#include "core/multi_cloud.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "sla/slack.hpp"
+
+namespace cbs::core {
+
+using cbs::sim::SimTime;
+using cbs::sla::Placement;
+
+namespace {
+std::string in_key(std::uint64_t seq) { return "in/" + std::to_string(seq); }
+std::string out_key(std::uint64_t seq) { return "out/" + std::to_string(seq); }
+}  // namespace
+
+MultiCloudController::Site::Site(cbs::sim::Simulation& sim,
+                                 const EcSiteConfig& cfg,
+                                 const cbs::net::BandwidthEstimator::Config& est_cfg,
+                                 const cbs::net::ThreadTuner::Config& tuner_cfg,
+                                 cbs::sim::RngStream rng)
+    : config(cfg),
+      cluster(sim, cfg.name, cfg.machines, cfg.speed),
+      runtime(sim, cluster),
+      uplink(sim, cfg.uplink, rng.substream("up")),
+      downlink(sim, cfg.downlink, rng.substream("down")),
+      store(sim),
+      uplink_estimator(est_cfg),
+      downlink_estimator(est_cfg),
+      up_tuner(tuner_cfg),
+      down_tuner(tuner_cfg) {
+  upload_queue = std::make_unique<TransferQueueSet>(sim, uplink, up_tuner, 1);
+  download_queue =
+      std::make_unique<TransferQueueSet>(sim, downlink, down_tuner, 1);
+}
+
+MultiCloudController::MultiCloudController(
+    cbs::sim::Simulation& sim, MultiCloudConfig config,
+    cbs::workload::GroundTruthModel& truth,
+    const cbs::models::ProcessingTimeEstimator& estimator,
+    cbs::sim::RngStream rng)
+    : sim_(sim),
+      config_(std::move(config)),
+      truth_(truth),
+      estimator_(estimator),
+      log_("multi-cloud"),
+      ic_cluster_(sim, "ic", config_.ic.ic_machines, config_.ic.ic_speed),
+      ic_runtime_(sim, ic_cluster_) {
+  assert(!config_.sites.empty() && "need at least one external site");
+  for (std::size_t i = 0; i < config_.sites.size(); ++i) {
+    sites_.push_back(std::make_unique<Site>(
+        sim, config_.sites[i], config_.bandwidth_estimator,
+        config_.thread_tuner, rng.substream(i)));
+    Site& site = *sites_.back();
+    site.upload_queue->set_on_complete(
+        [this, i](std::uint64_t seq, int, const net::TransferRecord& rec) {
+          on_upload_done(i, seq, rec);
+        });
+    site.download_queue->set_on_complete(
+        [this, i](std::uint64_t seq, int, const net::TransferRecord& rec) {
+          on_download_done(i, seq, rec);
+        });
+  }
+  ic_cluster_.set_task_done_hook([this] { dispatch_ic(); });
+}
+
+Job& MultiCloudController::job_at(std::uint64_t seq) {
+  auto it = jobs_.find(seq);
+  assert(it != jobs_.end());
+  return it->second;
+}
+
+MultiCloudController::SiteEstimate MultiCloudController::ft_site(
+    std::size_t site_idx, const cbs::workload::Document& doc,
+    SimTime now) const {
+  const Site& site = *sites_[site_idx];
+  SiteEstimate e;
+  e.site = site_idx;
+  e.upload_seconds = site.uplink_estimator.estimate_transfer_seconds(
+      now, site.believed_upload_backlog_bytes + doc.input_bytes());
+  const SimTime upload_done = now + e.upload_seconds;
+
+  const double capacity =
+      static_cast<double>(site.config.machines) * site.config.speed;
+  const double drained = (upload_done - now) * capacity;
+  const double backlog_left =
+      std::max(0.0, site.believed_ec_outstanding_seconds - drained);
+  e.processing_seconds = site.config.job_overhead_seconds +
+                         estimator_.estimate_seconds(doc) / site.config.speed +
+                         backlog_left / capacity;
+  const SimTime proc_done = upload_done + e.processing_seconds;
+  e.download_seconds = site.downlink_estimator.estimate_transfer_seconds(
+      proc_done, doc.output_bytes());
+  e.finish = proc_done + e.download_seconds;
+  return e;
+}
+
+MultiCloudController::SiteEstimate MultiCloudController::choose_site(
+    const cbs::workload::Document& doc, SimTime now) const {
+  SiteEstimate fastest = ft_site(0, doc, now);
+  std::vector<SiteEstimate> all = {fastest};
+  for (std::size_t s = 1; s < sites_.size(); ++s) {
+    all.push_back(ft_site(s, doc, now));
+    if (all.back().finish < fastest.finish) fastest = all.back();
+  }
+  if (config_.site_selection == SiteSelection::kFastest) return fastest;
+
+  // kCheapestFeasible: among sites whose believed completion meets the
+  // ticket promise, take the lowest price class; ties and infeasibility
+  // resolve to the fastest round trip.
+  cbs::sla::JobOutcome probe;
+  probe.arrival = now;
+  probe.input_mb = doc.features.size_mb;
+  const SimTime deadline = config_.ticket_policy.deadline_for(probe);
+  const SiteEstimate* cheapest = nullptr;
+  for (const SiteEstimate& e : all) {
+    if (e.finish > deadline) continue;
+    if (cheapest == nullptr ||
+        sites_[e.site]->config.price_per_machine_hour <
+            sites_[cheapest->site]->config.price_per_machine_hour) {
+      cheapest = &e;
+    }
+  }
+  return cheapest != nullptr ? *cheapest : fastest;
+}
+
+SimTime MultiCloudController::slack(SimTime now) const {
+  SimTime cushion = now;
+  if (!believed_ic_jobs_.empty()) {
+    cushion = std::max(
+        cushion, now + believed_ic_seconds_ /
+                           (static_cast<double>(config_.ic.ic_machines) *
+                            config_.ic.ic_speed));
+  }
+  for (const auto& [seq, finish] : believed_ec_finishes_) {
+    cushion = std::max(cushion, finish);
+  }
+  return cushion;
+}
+
+void MultiCloudController::on_batch(const cbs::workload::Batch& batch) {
+  for (const auto& doc : batch.documents) {
+    Job job;
+    job.seq_id = next_seq_++;
+    job.doc = doc;
+    job.batch_index = batch.batch_index;
+    job.arrival = sim_.now();
+    job.scheduled_time = sim_.now();
+    job.estimated_service_seconds = estimator_.estimate_seconds(doc);
+    job.true_service_seconds = truth_.realized_seconds(doc);
+
+    // *Where*: fastest, or cheapest meeting the job's SLA.
+    const SiteEstimate best = choose_site(doc, sim_.now());
+    // *When/how much*: the slackness admission rule (Eq. 1-2).
+    if (cbs::sla::satisfies_slack(best.finish, slack(sim_.now()),
+                                  config_.slack_safety_margin)) {
+      place_site(std::move(job), best);
+    } else {
+      place_ic(std::move(job));
+    }
+  }
+  dispatch_ic();
+  ensure_probing();
+}
+
+void MultiCloudController::place_ic(Job&& job) {
+  job.placement = Placement::kInternal;
+  job.state = JobState::kIcWaiting;
+  const std::uint64_t seq = job.seq_id;
+  believed_ic_jobs_.emplace(seq, job.estimated_service_seconds);
+  believed_ic_seconds_ += job.estimated_service_seconds;
+  jobs_.emplace(seq, std::move(job));
+  ic_wait_.push_back(seq);
+  ++outstanding_;
+}
+
+void MultiCloudController::place_site(Job&& job, const SiteEstimate& estimate) {
+  job.placement = Placement::kExternal;
+  job.state = JobState::kUploadQueued;
+  const std::uint64_t seq = job.seq_id;
+  Site& site = *sites_[estimate.site];
+  site.believed_upload_backlog_bytes += job.doc.input_bytes();
+  site.believed_ec_outstanding_seconds += job.estimated_service_seconds;
+  ++site.bursts;
+  believed_ec_finishes_.emplace(seq, estimate.finish);
+  job_site_.emplace(seq, estimate.site);
+  const double bytes = job.doc.input_bytes();
+  jobs_.emplace(seq, std::move(job));
+  site.upload_queue->enqueue(seq, bytes, 0);
+  ++outstanding_;
+}
+
+compute::MapReduceSpec MultiCloudController::spec_for(const Job& job) const {
+  compute::MapReduceSpec spec;
+  spec.job_id = job.seq_id;
+  spec.total_map_seconds = job.true_service_seconds;
+  spec.num_map_tasks = std::clamp(
+      static_cast<int>(
+          std::ceil(job.doc.features.size_mb / config_.ic.map_chunk_mb)),
+      1, config_.ic.max_map_tasks_per_job);
+  spec.merge_seconds =
+      config_.ic.merge_seconds_per_output_mb * job.doc.output_size_mb;
+  return spec;
+}
+
+void MultiCloudController::dispatch_ic() {
+  while (!ic_wait_.empty() &&
+         ic_cluster_.queued_tasks() < config_.ic.ic_machines) {
+    const std::uint64_t seq = ic_wait_.front();
+    ic_wait_.pop_front();
+    Job& job = job_at(seq);
+    job.state = JobState::kIcRunning;
+    ic_runtime_.run(spec_for(job), [this, seq](const compute::MapReduceRecord&) {
+      on_ic_done(seq);
+    });
+  }
+}
+
+void MultiCloudController::on_ic_done(std::uint64_t seq) {
+  Job& job = job_at(seq);
+  auto it = believed_ic_jobs_.find(seq);
+  assert(it != believed_ic_jobs_.end());
+  believed_ic_seconds_ = std::max(0.0, believed_ic_seconds_ - it->second);
+  believed_ic_jobs_.erase(it);
+  finish_job(job);
+  dispatch_ic();
+}
+
+void MultiCloudController::on_upload_done(std::size_t site_idx,
+                                          std::uint64_t seq,
+                                          const net::TransferRecord& rec) {
+  Site& site = *sites_[site_idx];
+  site.uplink_estimator.observe(sim_.now(), rec.transfer_rate());
+  site.up_tuner.report(sim_.now(), rec.threads, rec.transfer_rate());
+  site.believed_upload_backlog_bytes =
+      std::max(0.0, site.believed_upload_backlog_bytes - rec.bytes);
+
+  Job& job = job_at(seq);
+  job.state = JobState::kEcRunning;
+  site.store.put(in_key(seq), rec.bytes);
+  compute::MapReduceSpec spec = spec_for(job);
+  spec.merge_seconds += site.config.job_overhead_seconds * site.config.speed;
+  site.runtime.run(spec, [this, site_idx, seq](const compute::MapReduceRecord&) {
+    on_site_proc_done(site_idx, seq);
+  });
+}
+
+void MultiCloudController::on_site_proc_done(std::size_t site_idx,
+                                             std::uint64_t seq) {
+  Site& site = *sites_[site_idx];
+  Job& job = job_at(seq);
+  site.store.erase(in_key(seq));
+  site.store.put(out_key(seq), job.doc.output_bytes());
+  job.state = JobState::kDownloading;
+  site.download_queue->enqueue(seq, job.doc.output_bytes(), 0);
+}
+
+void MultiCloudController::on_download_done(std::size_t site_idx,
+                                            std::uint64_t seq,
+                                            const net::TransferRecord& rec) {
+  Site& site = *sites_[site_idx];
+  site.downlink_estimator.observe(sim_.now(), rec.transfer_rate());
+  site.down_tuner.report(sim_.now(), rec.threads, rec.transfer_rate());
+
+  Job& job = job_at(seq);
+  site.store.erase(out_key(seq));
+  site.believed_ec_outstanding_seconds = std::max(
+      0.0, site.believed_ec_outstanding_seconds - job.estimated_service_seconds);
+  believed_ec_finishes_.erase(seq);
+  finish_job(job);
+}
+
+void MultiCloudController::finish_job(Job& job) {
+  job.state = JobState::kCompleted;
+  job.completed_time = sim_.now();
+  outcomes_.push_back(job.to_outcome());
+  assert(outstanding_ > 0);
+  --outstanding_;
+}
+
+void MultiCloudController::ensure_probing() {
+  if (probe_scheduled_ || config_.probe_interval <= 0.0) return;
+  probe_scheduled_ = true;
+  sim_.schedule_in(config_.probe_interval, [this] { probe(); });
+}
+
+void MultiCloudController::probe() {
+  probe_scheduled_ = false;
+  if (outstanding_ == 0) return;
+  for (auto& site_ptr : sites_) {
+    Site& site = *site_ptr;
+    const int up_threads = site.up_tuner.suggest(sim_.now());
+    site.uplink.submit(config_.probe_bytes, up_threads,
+                       [this, &site](const net::TransferRecord& rec) {
+                         site.uplink_estimator.observe(sim_.now(),
+                                                       rec.transfer_rate());
+                         site.up_tuner.report(sim_.now(), rec.threads,
+                                              rec.transfer_rate());
+                       });
+    const int down_threads = site.down_tuner.suggest(sim_.now());
+    site.downlink.submit(config_.probe_bytes, down_threads,
+                         [this, &site](const net::TransferRecord& rec) {
+                           site.downlink_estimator.observe(sim_.now(),
+                                                           rec.transfer_rate());
+                           site.down_tuner.report(sim_.now(), rec.threads,
+                                                  rec.transfer_rate());
+                         });
+  }
+  ensure_probing();
+}
+
+std::vector<std::size_t> MultiCloudController::bursts_per_site() const {
+  std::vector<std::size_t> out;
+  out.reserve(sites_.size());
+  for (const auto& site : sites_) out.push_back(site->bursts);
+  return out;
+}
+
+}  // namespace cbs::core

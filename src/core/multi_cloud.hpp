@@ -1,0 +1,190 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compute/cluster.hpp"
+#include "compute/job_store.hpp"
+#include "compute/mapreduce.hpp"
+#include "core/config.hpp"
+#include "core/job.hpp"
+#include "core/upload_queues.hpp"
+#include "models/estimator.hpp"
+#include "net/bandwidth_estimator.hpp"
+#include "net/link.hpp"
+#include "net/thread_tuner.hpp"
+#include "simcore/logging.hpp"
+#include "simcore/rng.hpp"
+#include "simcore/simulation.hpp"
+#include "sla/job_outcome.hpp"
+#include "sla/tickets.hpp"
+#include "workload/arrival.hpp"
+#include "workload/ground_truth.hpp"
+
+namespace cbs::core {
+
+/// One external cloud provider in the pool: its cluster and its own pipe
+/// (providers differ in instance speed, cost class and path bandwidth —
+/// the paper's intro: "one could possibly choose from a pool of Cloud
+/// Providers at run-time depending on the input job's SLAs").
+struct EcSiteConfig {
+  std::string name = "ec";
+  std::size_t machines = 2;
+  double speed = 1.0;
+  double job_overhead_seconds = 30.0;
+  /// Relative price class (e.g. machine-hour list price) used by the
+  /// cost-aware site selection; lower is cheaper.
+  double price_per_machine_hour = 0.10;
+  cbs::net::LinkConfig uplink{};
+  cbs::net::LinkConfig downlink{};
+};
+
+/// How the controller answers the *where* question for a burst-admitted
+/// job (§I: "depending on the input job's SLAs").
+enum class SiteSelection : std::uint8_t {
+  kFastest,          ///< earliest believed round-trip completion
+  /// Cheapest provider whose believed completion still meets the job's
+  /// ticket deadline; falls back to the fastest when none can.
+  kCheapestFeasible,
+};
+
+/// Configuration of the multi-cloud controller.
+struct MultiCloudConfig {
+  TopologyConfig ic{};  ///< only the ic_* / map / merge fields are used
+  std::vector<EcSiteConfig> sites;
+  cbs::net::BandwidthEstimator::Config bandwidth_estimator{};
+  cbs::net::ThreadTuner::Config thread_tuner{};
+  /// Slack admission margin (Algorithm 2's τ), as in SchedulerParams.
+  cbs::sim::SimDuration slack_safety_margin = 30.0;
+  cbs::sim::SimDuration probe_interval = 150.0;
+  double probe_bytes = 1.0e6;
+
+  SiteSelection site_selection = SiteSelection::kFastest;
+  /// Ticket promise used by kCheapestFeasible to define "meets the SLA".
+  cbs::sla::TicketPolicy ticket_policy{};
+};
+
+/// The multi-EC generalization of the Order Preserving scheduler: the
+/// *when/how-much* question is still answered by the slackness rule
+/// (Eq. 1–2), and the *where* question by picking the provider with the
+/// earliest believed round-trip completion for this job. Each site has its
+/// own pipe, bandwidth model, thread tuner, upload/download queues and
+/// staging store — sites are fully independent substrates.
+///
+/// Kept separate from CloudBurstController so the single-EC reproduction
+/// path stays exactly as the paper describes it; this class is the §VII
+/// extension ("our domain could use meta-brokering strategies while
+/// bursting to multiple clouds").
+class MultiCloudController {
+ public:
+  MultiCloudController(cbs::sim::Simulation& sim, MultiCloudConfig config,
+                       cbs::workload::GroundTruthModel& truth,
+                       const cbs::models::ProcessingTimeEstimator& estimator,
+                       cbs::sim::RngStream rng);
+  MultiCloudController(const MultiCloudController&) = delete;
+  MultiCloudController& operator=(const MultiCloudController&) = delete;
+
+  void on_batch(const cbs::workload::Batch& batch);
+
+  [[nodiscard]] const std::vector<cbs::sla::JobOutcome>& outcomes() const noexcept {
+    return outcomes_;
+  }
+  [[nodiscard]] std::size_t outstanding_jobs() const noexcept { return outstanding_; }
+  [[nodiscard]] std::size_t site_count() const noexcept { return sites_.size(); }
+  [[nodiscard]] const compute::Cluster& ic_cluster() const noexcept {
+    return ic_cluster_;
+  }
+  [[nodiscard]] const compute::Cluster& site_cluster(std::size_t site) const {
+    return sites_.at(site)->cluster;
+  }
+  [[nodiscard]] const net::Link& site_uplink(std::size_t site) const {
+    return sites_.at(site)->uplink;
+  }
+  /// Jobs bursted to each site over the run.
+  [[nodiscard]] std::vector<std::size_t> bursts_per_site() const;
+
+ private:
+  struct Site {
+    explicit Site(cbs::sim::Simulation& sim, const EcSiteConfig& cfg,
+                  const cbs::net::BandwidthEstimator::Config& est_cfg,
+                  const cbs::net::ThreadTuner::Config& tuner_cfg,
+                  cbs::sim::RngStream rng);
+
+    EcSiteConfig config;
+    compute::Cluster cluster;
+    compute::MapReduceRuntime runtime;
+    net::Link uplink;
+    net::Link downlink;
+    compute::JobStore store;
+    net::BandwidthEstimator uplink_estimator;
+    net::BandwidthEstimator downlink_estimator;
+    net::ThreadTuner up_tuner;
+    net::ThreadTuner down_tuner;
+    std::unique_ptr<TransferQueueSet> upload_queue;
+    std::unique_ptr<TransferQueueSet> download_queue;
+
+    // Belief about this site (scheduler-visible state only).
+    double believed_ec_outstanding_seconds = 0.0;
+    double believed_upload_backlog_bytes = 0.0;
+    std::size_t bursts = 0;
+  };
+
+  struct SiteEstimate {
+    std::size_t site = 0;
+    double upload_seconds = 0.0;
+    double processing_seconds = 0.0;
+    double download_seconds = 0.0;
+    cbs::sim::SimTime finish = 0.0;
+  };
+
+  [[nodiscard]] SiteEstimate ft_site(std::size_t site,
+                                     const cbs::workload::Document& doc,
+                                     cbs::sim::SimTime now) const;
+  [[nodiscard]] SiteEstimate choose_site(const cbs::workload::Document& doc,
+                                         cbs::sim::SimTime now) const;
+  [[nodiscard]] cbs::sim::SimTime slack(cbs::sim::SimTime now) const;
+  void place_ic(Job&& job);
+  void place_site(Job&& job, const SiteEstimate& estimate);
+  void dispatch_ic();
+  void on_ic_done(std::uint64_t seq);
+  void on_upload_done(std::size_t site, std::uint64_t seq,
+                      const net::TransferRecord& rec);
+  void on_site_proc_done(std::size_t site, std::uint64_t seq);
+  void on_download_done(std::size_t site, std::uint64_t seq,
+                        const net::TransferRecord& rec);
+  void finish_job(Job& job);
+  void ensure_probing();
+  void probe();
+  [[nodiscard]] Job& job_at(std::uint64_t seq);
+  [[nodiscard]] compute::MapReduceSpec spec_for(const Job& job) const;
+
+  cbs::sim::Simulation& sim_;
+  MultiCloudConfig config_;
+  cbs::workload::GroundTruthModel& truth_;
+  const cbs::models::ProcessingTimeEstimator& estimator_;
+  sim::Logger log_;
+
+  compute::Cluster ic_cluster_;
+  compute::MapReduceRuntime ic_runtime_;
+  std::vector<std::unique_ptr<Site>> sites_;
+
+  // IC belief (estimated standard seconds outstanding).
+  std::map<std::uint64_t, double> believed_ic_jobs_;
+  double believed_ic_seconds_ = 0.0;
+  // Believed absolute finish of every outstanding bursted job.
+  std::map<std::uint64_t, cbs::sim::SimTime> believed_ec_finishes_;
+
+  std::map<std::uint64_t, Job> jobs_;
+  std::map<std::uint64_t, std::size_t> job_site_;  ///< seq -> site index
+  std::deque<std::uint64_t> ic_wait_;
+  std::vector<cbs::sla::JobOutcome> outcomes_;
+  std::uint64_t next_seq_ = 1;
+  std::size_t outstanding_ = 0;
+  bool probe_scheduled_ = false;
+};
+
+}  // namespace cbs::core

@@ -1,0 +1,111 @@
+#include "core/upload_queues.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cbs::core {
+
+TransferQueueSet::TransferQueueSet(cbs::sim::Simulation& sim,
+                                   cbs::net::Link& link,
+                                   cbs::net::ThreadTuner& tuner, int num_classes,
+                                   int slots_per_class)
+    : sim_(sim), link_(link), tuner_(tuner) {
+  assert(num_classes >= 1);
+  assert(slots_per_class >= 1);
+  queues_.resize(static_cast<std::size_t>(num_classes));
+  slots_.assign(static_cast<std::size_t>(num_classes),
+                std::vector<Slot>(static_cast<std::size_t>(slots_per_class)));
+  active_bytes_per_class_.assign(static_cast<std::size_t>(num_classes), 0.0);
+}
+
+void TransferQueueSet::enqueue(std::uint64_t tag, double bytes, int klass) {
+  assert(bytes > 0.0);
+  assert(klass >= 0 && klass < num_classes());
+  queues_[static_cast<std::size_t>(klass)].push_back(Item{tag, bytes, klass});
+  pump();
+}
+
+bool TransferQueueSet::try_cancel(std::uint64_t tag) {
+  for (auto& queue : queues_) {
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+      if (it->tag == tag) {
+        queue.erase(it);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+int TransferQueueSet::pick_queue_for_class(int klass) const {
+  // Own class first, then the nearest lower class with waiting work.
+  for (int q = klass; q >= 0; --q) {
+    if (!queues_[static_cast<std::size_t>(q)].empty()) return q;
+  }
+  return -1;
+}
+
+void TransferQueueSet::pump() {
+  for (int klass = 0; klass < num_classes(); ++klass) {
+    auto& class_slots = slots_[static_cast<std::size_t>(klass)];
+    for (std::size_t s = 0; s < class_slots.size(); ++s) {
+      if (class_slots[s].busy) continue;
+      const int source = pick_queue_for_class(klass);
+      if (source < 0) break;
+
+      Item item = queues_[static_cast<std::size_t>(source)].front();
+      queues_[static_cast<std::size_t>(source)].pop_front();
+      class_slots[s].busy = true;
+      ++active_count_;
+      active_bytes_per_class_[static_cast<std::size_t>(item.klass)] += item.bytes;
+
+      const int threads = tuner_.suggest(sim_.now());
+      link_.submit(item.bytes, threads,
+                   [this, item, klass, s](const cbs::net::TransferRecord& rec) {
+                     slots_[static_cast<std::size_t>(klass)][s].busy = false;
+                     --active_count_;
+                     active_bytes_per_class_[static_cast<std::size_t>(
+                         item.klass)] -= item.bytes;
+                     // Serve the freed slot before notifying, so the pipe
+                     // never idles across the callback.
+                     pump();
+                     if (on_complete_) on_complete_(item.tag, item.klass, rec);
+                   });
+    }
+  }
+}
+
+std::vector<double> TransferQueueSet::backlog_bytes_per_class() const {
+  std::vector<double> backlog(queues_.size(), 0.0);
+  for (std::size_t q = 0; q < queues_.size(); ++q) {
+    for (const Item& item : queues_[q]) backlog[q] += item.bytes;
+    backlog[q] += active_bytes_per_class_[q];
+  }
+  return backlog;
+}
+
+double TransferQueueSet::total_backlog_bytes() const {
+  double total = 0.0;
+  for (double b : backlog_bytes_per_class()) total += b;
+  return total;
+}
+
+bool TransferQueueSet::idle() const {
+  return active_count_ == 0 && queued_items() == 0;
+}
+
+std::size_t TransferQueueSet::queued_items() const {
+  std::size_t n = 0;
+  for (const auto& q : queues_) n += q.size();
+  return n;
+}
+
+std::vector<std::uint64_t> TransferQueueSet::queued_tags() const {
+  std::vector<std::uint64_t> tags;
+  for (const auto& q : queues_) {
+    for (const Item& item : q) tags.push_back(item.tag);
+  }
+  return tags;
+}
+
+}  // namespace cbs::core

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/thread_tuner.hpp"
+#include "simcore/simulation.hpp"
+
+namespace cbs::core {
+
+/// The asynchronous transfer stage of the pipelined architecture (Fig. 5):
+/// a set of FIFO classes feeding one Link, one active transfer slot per
+/// class. With one class this is the plain upload (or download) queue used
+/// by the Greedy/Op schedulers; with three classes and per-batch size
+/// bounds it implements Algorithm 3's small/medium/large splitting.
+///
+/// Ride-up policy (§IV.C): when a class's slot frees and its own queue is
+/// empty, it serves the head of the nearest *lower* class — small jobs may
+/// use the medium/large pipes, large jobs may never block the small pipe.
+class TransferQueueSet {
+ public:
+  /// Fired when a job's transfer completes; `klass` is the queue class the
+  /// item was *enqueued* to (not the slot that carried it).
+  using CompletionHandler =
+      std::function<void(std::uint64_t tag, int klass,
+                         const cbs::net::TransferRecord&)>;
+
+  TransferQueueSet(cbs::sim::Simulation& sim, cbs::net::Link& link,
+                   cbs::net::ThreadTuner& tuner, int num_classes,
+                   int slots_per_class = 1);
+  TransferQueueSet(const TransferQueueSet&) = delete;
+  TransferQueueSet& operator=(const TransferQueueSet&) = delete;
+
+  void set_on_complete(CompletionHandler handler) {
+    on_complete_ = std::move(handler);
+  }
+
+  /// Enqueues `bytes` for transfer under caller tag `tag` into `klass`.
+  void enqueue(std::uint64_t tag, double bytes, int klass);
+
+  /// Cancels a *queued* (not yet started) item. Returns true on success;
+  /// false when the item already started or is unknown — the §IV.D
+  /// rescheduler uses this to pull jobs back before upload begins.
+  bool try_cancel(std::uint64_t tag);
+
+  /// Bytes waiting or in flight, per class (Algorithm 3's s_up/m_up/l_up).
+  [[nodiscard]] std::vector<double> backlog_bytes_per_class() const;
+  [[nodiscard]] double total_backlog_bytes() const;
+  [[nodiscard]] int num_classes() const noexcept {
+    return static_cast<int>(queues_.size());
+  }
+  [[nodiscard]] bool idle() const;
+  [[nodiscard]] std::size_t queued_items() const;
+  [[nodiscard]] std::size_t active_items() const noexcept { return active_count_; }
+
+  /// Tags currently waiting (not started), youngest class first — the
+  /// rescheduler scans these for pull-back candidates.
+  [[nodiscard]] std::vector<std::uint64_t> queued_tags() const;
+
+ private:
+  struct Item {
+    std::uint64_t tag;
+    double bytes;
+    int klass;
+  };
+
+  struct Slot {
+    bool busy = false;
+  };
+
+  void pump();
+  [[nodiscard]] int pick_queue_for_class(int klass) const;
+
+  cbs::sim::Simulation& sim_;
+  cbs::net::Link& link_;
+  cbs::net::ThreadTuner& tuner_;
+  std::vector<std::deque<Item>> queues_;
+  std::vector<std::vector<Slot>> slots_;  // per class
+  std::size_t active_count_ = 0;
+  std::vector<double> active_bytes_per_class_;
+  CompletionHandler on_complete_;
+};
+
+}  // namespace cbs::core

@@ -1,0 +1,141 @@
+#include "harness/cli.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cbs::harness::cli {
+
+namespace {
+
+bool is_flag(const std::string& s) { return s.rfind("--", 0) == 0; }
+
+}  // namespace
+
+Args::Args(int argc, const char* const* argv,
+           const std::vector<std::string>& known_flags) {
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (!is_flag(token)) {
+      positional_.push_back(std::move(token));
+      continue;
+    }
+    token = token.substr(2);
+    std::string key = token;
+    std::string value;
+    bool have_value = false;
+    if (const auto eq = token.find('='); eq != std::string::npos) {
+      key = token.substr(0, eq);
+      value = token.substr(eq + 1);
+      have_value = true;
+    }
+    if (std::find(known_flags.begin(), known_flags.end(), key) ==
+        known_flags.end()) {
+      throw std::runtime_error("unknown flag: --" + key);
+    }
+    if (!have_value && i + 1 < argc && !is_flag(argv[i + 1])) {
+      value = argv[++i];
+      have_value = true;
+    }
+    values_[key] = have_value ? value : "true";
+  }
+}
+
+bool Args::has(const std::string& key) const { return values_.contains(key); }
+
+std::optional<std::string> Args::get(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Args::get_or(const std::string& key,
+                         const std::string& fallback) const {
+  return get(key).value_or(fallback);
+}
+
+double Args::get_double_or(const std::string& key, double fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  std::size_t pos = 0;
+  const double out = std::stod(*v, &pos);
+  if (pos != v->size()) throw std::runtime_error("bad number for --" + key);
+  return out;
+}
+
+long Args::get_long_or(const std::string& key, long fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  std::size_t pos = 0;
+  const long out = std::stol(*v, &pos);
+  if (pos != v->size()) throw std::runtime_error("bad integer for --" + key);
+  return out;
+}
+
+cbs::core::SchedulerKind parse_scheduler(const std::string& name) {
+  using cbs::core::SchedulerKind;
+  if (name == "ic-only") return SchedulerKind::kIcOnly;
+  if (name == "greedy") return SchedulerKind::kGreedy;
+  if (name == "order-preserving" || name == "op") {
+    return SchedulerKind::kOrderPreserving;
+  }
+  if (name == "op-bandwidth-split" || name == "bandwidth-split") {
+    return SchedulerKind::kBandwidthSplit;
+  }
+  if (name == "random") return SchedulerKind::kRandom;
+  throw std::runtime_error("unknown scheduler: " + name);
+}
+
+cbs::workload::SizeBucket parse_bucket(const std::string& name) {
+  using cbs::workload::SizeBucket;
+  if (name == "small") return SizeBucket::kSmallBiased;
+  if (name == "uniform") return SizeBucket::kUniform;
+  if (name == "large") return SizeBucket::kLargeBiased;
+  throw std::runtime_error("unknown bucket: " + name);
+}
+
+const std::vector<std::string>& scenario_flags() {
+  static const std::vector<std::string> flags = {
+      "scheduler", "bucket",      "seed",      "batches",  "lambda",
+      "interval",  "high-var",    "rescheduler", "elastic", "estimator",
+      "tolerance", "oo-interval", "noise",     "csv",      "help",
+  };
+  return flags;
+}
+
+Scenario scenario_from_args(const Args& args) {
+  Scenario s = make_scenario(
+      parse_scheduler(args.get_or("scheduler", "order-preserving")),
+      parse_bucket(args.get_or("bucket", "large")),
+      static_cast<std::uint64_t>(args.get_long_or("seed", 42)),
+      args.has("high-var"));
+  s.num_batches = static_cast<std::size_t>(args.get_long_or("batches", 8));
+  s.mean_jobs_per_batch = args.get_double_or("lambda", 15.0);
+  s.batch_interval_seconds = args.get_double_or("interval", 180.0);
+  s.enable_rescheduler = args.has("rescheduler");
+  s.oo_tolerance =
+      static_cast<std::uint64_t>(args.get_long_or("tolerance", 4));
+  s.oo_sampling_interval = args.get_double_or("oo-interval", 120.0);
+  s.truth.noise_sigma = args.get_double_or("noise", s.truth.noise_sigma);
+
+  const std::string estimator = args.get_or("estimator", "qrsm");
+  if (estimator == "qrsm") {
+    s.estimator = cbs::core::EstimatorKind::kQrsm;
+  } else if (estimator == "oracle") {
+    s.estimator = cbs::core::EstimatorKind::kOracle;
+  } else if (estimator == "per-class") {
+    s.estimator = cbs::core::EstimatorKind::kPerClassQrsm;
+  } else {
+    throw std::runtime_error("unknown estimator: " + estimator);
+  }
+
+  if (args.has("elastic")) {
+    auto cfg = s.controller_config();
+    cfg.elastic_ec.enabled = true;
+    cfg.elastic_ec.min_machines = 1;
+    cfg.elastic_ec.max_machines = 6;
+    s.config_override = cfg;
+  }
+  return s;
+}
+
+}  // namespace cbs::harness::cli

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/scenario.hpp"
+
+namespace cbs::harness::cli {
+
+/// Minimal GNU-style flag parser for the scenario tools: supports
+/// `--key=value`, `--key value` and boolean `--flag`. Unknown flags are an
+/// error (typos should not silently change an experiment).
+class Args {
+ public:
+  /// Parses argv. Throws std::runtime_error on malformed input.
+  Args(int argc, const char* const* argv,
+       const std::vector<std::string>& known_flags);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+  [[nodiscard]] std::string get_or(const std::string& key,
+                                   const std::string& fallback) const;
+  [[nodiscard]] double get_double_or(const std::string& key,
+                                     double fallback) const;
+  [[nodiscard]] long get_long_or(const std::string& key, long fallback) const;
+
+  /// Non-flag positional arguments, in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+/// Parses a scheduler name ("ic-only", "greedy", "order-preserving",
+/// "op-bandwidth-split"); throws on anything else.
+[[nodiscard]] cbs::core::SchedulerKind parse_scheduler(const std::string& name);
+
+/// Parses a bucket name ("small", "uniform", "large"); throws otherwise.
+[[nodiscard]] cbs::workload::SizeBucket parse_bucket(const std::string& name);
+
+/// Builds a Scenario from parsed flags. Recognized flags:
+///   --scheduler --bucket --seed --batches --lambda --interval --high-var
+///   --rescheduler --elastic --estimator (qrsm|oracle|per-class)
+///   --tolerance --oo-interval --noise
+[[nodiscard]] Scenario scenario_from_args(const Args& args);
+
+/// The flag set scenario_from_args understands (for constructing Args).
+[[nodiscard]] const std::vector<std::string>& scenario_flags();
+
+}  // namespace cbs::harness::cli

@@ -1,0 +1,92 @@
+#include "harness/csv.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace cbs::harness {
+
+namespace csv {
+
+void write_completion_series(std::ostream& out, const RunResult& result) {
+  out << "seq,completed_seconds,placement\n";
+  std::vector<const cbs::sla::JobOutcome*> sorted;
+  sorted.reserve(result.outcomes.size());
+  for (const auto& o : result.outcomes) sorted.push_back(&o);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* a, const auto* b) { return a->seq_id < b->seq_id; });
+  for (const auto* o : sorted) {
+    out << o->seq_id << ',' << o->completed << ','
+        << cbs::sla::to_string(o->placement) << "\n";
+  }
+}
+
+void write_oo_series(std::ostream& out, const RunResult& result) {
+  out << "time_seconds,ordered_mb\n";
+  for (const auto& p : result.oo_series.points()) {
+    out << p.time << ',' << p.value << "\n";
+  }
+}
+
+void write_oo_overlay(std::ostream& out, const std::vector<RunResult>& results,
+                      double interval) {
+  out << "time_seconds";
+  double end = 0.0;
+  for (const auto& r : results) {
+    out << ',' << r.scenario.name;
+    if (!r.oo_series.empty()) end = std::max(end, r.oo_series.back().time);
+  }
+  out << "\n";
+  for (double t = 0.0; t <= end + 1e-9; t += interval) {
+    out << t;
+    for (const auto& r : results) out << ',' << r.oo_series.value_at(t);
+    out << "\n";
+  }
+}
+
+void write_reports(std::ostream& out, const std::vector<RunResult>& results) {
+  out << "scenario,scheduler,bucket,jobs,makespan_s,speedup,ic_util,ec_util,"
+         "burst_ratio,mean_turnaround_s,oo_avg_mb\n";
+  for (const auto& r : results) {
+    const auto& rep = r.report;
+    out << r.scenario.name << ',' << rep.scheduler << ',' << rep.bucket << ','
+        << rep.job_count << ',' << rep.makespan_seconds << ',' << rep.speedup
+        << ',' << rep.ic_utilization << ',' << rep.ec_utilization << ','
+        << rep.burst_ratio << ',' << rep.mean_turnaround_seconds << ','
+        << rep.oo_time_averaged_mb << "\n";
+  }
+}
+
+}  // namespace csv
+
+std::string ascii_chart(const std::vector<double>& ys, std::size_t height,
+                        std::size_t max_width) {
+  if (ys.empty() || height == 0) return "";
+  // Downsample to at most max_width columns by taking column maxima (peaks
+  // are the interesting feature in the completion-time figures).
+  std::vector<double> cols;
+  const std::size_t stride = std::max<std::size_t>(1, ys.size() / max_width);
+  for (std::size_t i = 0; i < ys.size(); i += stride) {
+    double m = ys[i];
+    for (std::size_t k = i; k < std::min(ys.size(), i + stride); ++k) {
+      m = std::max(m, ys[k]);
+    }
+    cols.push_back(m);
+  }
+  const double lo = *std::min_element(cols.begin(), cols.end());
+  const double hi = *std::max_element(cols.begin(), cols.end());
+  const double span = hi - lo;
+
+  std::string out;
+  for (std::size_t row = 0; row < height; ++row) {
+    const double level =
+        hi - span * (static_cast<double>(row) / static_cast<double>(height - 1));
+    for (double v : cols) {
+      out += (span <= 0.0 ? row + 1 == height : v >= level - 1e-12) ? '#' : ' ';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace cbs::harness

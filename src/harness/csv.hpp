@@ -1,0 +1,37 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace cbs::harness {
+
+/// Small CSV/series printers shared by the bench binaries — every figure
+/// bench emits a machine-readable series next to its human-readable table.
+namespace csv {
+
+/// "seq,completed_seconds,placement" rows (Fig. 7/8 data).
+void write_completion_series(std::ostream& out, const RunResult& result);
+
+/// "time,ordered_mb" rows of the OO series (Fig. 9 data).
+void write_oo_series(std::ostream& out, const RunResult& result);
+
+/// One labeled column per result, OO values on a shared time grid
+/// (Fig. 9/10 overlays). Column label = scenario name.
+void write_oo_overlay(std::ostream& out, const std::vector<RunResult>& results,
+                      double interval);
+
+/// Headline metrics, one row per result (Table I data).
+void write_reports(std::ostream& out, const std::vector<RunResult>& results);
+
+}  // namespace csv
+
+/// Renders a crude ASCII line chart of (x implicit index, y value), for the
+/// human-readable half of the figure benches. `height` rows tall.
+[[nodiscard]] std::string ascii_chart(const std::vector<double>& ys,
+                                      std::size_t height = 12,
+                                      std::size_t max_width = 100);
+
+}  // namespace cbs::harness

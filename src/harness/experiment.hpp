@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/scenario.hpp"
+#include "sla/cost.hpp"
+#include "sla/job_outcome.hpp"
+#include "sla/oo_metric.hpp"
+#include "sla/report.hpp"
+#include "sla/tickets.hpp"
+#include "stats/timeseries.hpp"
+
+namespace cbs::harness {
+
+/// Everything a bench or test needs from one finished run.
+struct RunResult {
+  Scenario scenario;
+  cbs::sla::SlaReport report;
+  std::vector<cbs::sla::JobOutcome> outcomes;
+  /// o_t sampled at the scenario's OO interval/tolerance.
+  cbs::stats::TimeSeries oo_series;
+  double sim_end_time = 0.0;
+  std::size_t events_processed = 0;
+  std::size_t pull_backs = 0;
+  std::size_t push_outs = 0;
+  /// QRSM fit quality at end of run (NaN for the oracle estimator).
+  double qrsm_r_squared = 0.0;
+  double qrsm_mape = 0.0;
+  /// Peak bytes staged in the EC store.
+  double peak_store_bytes = 0.0;
+  /// Ticket SLA scorecard (scenario.ticket_policy).
+  cbs::sla::TicketReport tickets{};
+  /// Pay-as-you-go bill (scenario.cost_rates).
+  cbs::sla::CostReport cost{};
+};
+
+/// Runs one scenario end to end: builds the hybrid cloud, pretrains the
+/// QRSM on a synthetic factory corpus, schedules the batch arrivals, drives
+/// the simulation to completion, validates the outcome invariants (throws
+/// std::runtime_error on violation) and assembles the metrics.
+[[nodiscard]] RunResult run_scenario(const Scenario& scenario);
+
+/// Runs the same scenario under several schedulers (paired workload) and
+/// returns the results in the given order.
+[[nodiscard]] std::vector<RunResult> run_comparison(
+    const Scenario& base, const std::vector<cbs::core::SchedulerKind>& kinds);
+
+/// Per-job completion series in queue order (Fig. 7/8's x-axis is the job
+/// id, y-axis the completion time).
+[[nodiscard]] std::vector<double> completion_by_seq(const RunResult& result);
+
+}  // namespace cbs::harness

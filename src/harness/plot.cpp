@@ -1,0 +1,85 @@
+#include "harness/plot.hpp"
+
+#include <cassert>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+namespace cbs::harness::plot {
+
+Series from_timeseries(std::string label, const cbs::stats::TimeSeries& ts) {
+  Series s;
+  s.label = std::move(label);
+  s.xs.reserve(ts.size());
+  s.ys.reserve(ts.size());
+  for (const auto& p : ts.points()) {
+    s.xs.push_back(p.time);
+    s.ys.push_back(p.value);
+  }
+  return s;
+}
+
+std::string write_gnuplot(const std::string& path_prefix, const Figure& figure) {
+  assert(!figure.series.empty());
+  for ([[maybe_unused]] const Series& s : figure.series) {
+    assert(s.xs.size() == s.ys.size());
+  }
+
+  // Merge all x values into one grid; emit one column per series with
+  // blanks where a series has no sample (gnuplot skips blanks).
+  std::map<double, std::vector<double>> rows;  // x -> per-series value (NaN = missing)
+  const double missing = std::numeric_limits<double>::quiet_NaN();
+  for (std::size_t si = 0; si < figure.series.size(); ++si) {
+    const Series& s = figure.series[si];
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      auto& row = rows[s.xs[i]];
+      row.resize(figure.series.size(), missing);
+      row[si] = s.ys[i];
+    }
+  }
+
+  const std::string dat_path = path_prefix + ".dat";
+  {
+    std::ofstream dat(dat_path);
+    if (!dat) throw std::runtime_error("plot: cannot write " + dat_path);
+    dat << "# x";
+    for (const Series& s : figure.series) dat << " \"" << s.label << "\"";
+    dat << "\n";
+    for (const auto& [x, values] : rows) {
+      dat << x;
+      for (std::size_t si = 0; si < figure.series.size(); ++si) {
+        if (si < values.size() && values[si] == values[si]) {  // not NaN
+          dat << ' ' << values[si];
+        } else {
+          dat << " ?";  // gnuplot's missing-data marker (set datafile missing)
+        }
+      }
+      dat << "\n";
+    }
+    if (!dat) throw std::runtime_error("plot: write failed: " + dat_path);
+  }
+
+  const std::string gp_path = path_prefix + ".gp";
+  {
+    std::ofstream gp(gp_path);
+    if (!gp) throw std::runtime_error("plot: cannot write " + gp_path);
+    gp << "set terminal pngcairo size 900,540\n"
+       << "set output '" << path_prefix << ".png'\n"
+       << "set datafile missing '?'\n"
+       << "set title '" << figure.title << "'\n"
+       << "set xlabel '" << figure.xlabel << "'\n"
+       << "set ylabel '" << figure.ylabel << "'\n"
+       << "set key left top\n"
+       << "plot";
+    for (std::size_t si = 0; si < figure.series.size(); ++si) {
+      if (si > 0) gp << ',';
+      gp << " '" << dat_path << "' using 1:" << (si + 2)
+         << " with steps title '" << figure.series[si].label << "'";
+    }
+    gp << "\n";
+    if (!gp) throw std::runtime_error("plot: write failed: " + gp_path);
+  }
+  return gp_path;
+}
+
+}  // namespace cbs::harness::plot

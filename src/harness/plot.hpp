@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/timeseries.hpp"
+
+namespace cbs::harness::plot {
+
+/// One curve of a figure.
+struct Series {
+  std::string label;
+  std::vector<double> xs;
+  std::vector<double> ys;  // same length as xs
+};
+
+/// Figure description for the gnuplot emitter.
+struct Figure {
+  std::string title;
+  std::string xlabel;
+  std::string ylabel;
+  std::vector<Series> series;
+};
+
+/// Converts a step-function TimeSeries into a plot series.
+[[nodiscard]] Series from_timeseries(std::string label,
+                                     const cbs::stats::TimeSeries& ts);
+
+/// Writes `<prefix>.dat` (whitespace columns: x then one column per series,
+/// blank where a series has no sample at that x) and `<prefix>.gp` (a
+/// self-contained gnuplot script producing `<prefix>.png`). Returns the
+/// script path. Throws std::runtime_error on I/O failure.
+std::string write_gnuplot(const std::string& path_prefix, const Figure& figure);
+
+}  // namespace cbs::harness::plot

@@ -1,0 +1,41 @@
+#include "harness/scenario.hpp"
+
+#include <sstream>
+
+namespace cbs::harness {
+
+cbs::core::ControllerConfig Scenario::controller_config() const {
+  cbs::core::ControllerConfig cfg =
+      config_override.value_or(
+          cbs::core::default_controller_config(high_network_variation));
+  if (config_override && high_network_variation) {
+    cfg.uplink.noise_rho = 0.95;
+    cfg.uplink.noise_sigma = 0.25;
+    cfg.uplink.noise_step = 120.0;
+    cfg.downlink.noise_rho = 0.95;
+    cfg.downlink.noise_sigma = 0.25;
+    cfg.downlink.noise_step = 120.0;
+  }
+  cfg.scheduler = scheduler;
+  cfg.estimator = estimator;
+  cfg.enable_rescheduler = enable_rescheduler;
+  return cfg;
+}
+
+Scenario make_scenario(cbs::core::SchedulerKind scheduler,
+                       cbs::workload::SizeBucket bucket, std::uint64_t seed,
+                       bool high_network_variation) {
+  Scenario s;
+  s.scheduler = scheduler;
+  s.bucket = bucket;
+  s.seed = seed;
+  s.high_network_variation = high_network_variation;
+  std::ostringstream name;
+  name << cbs::core::to_string(scheduler) << "/"
+       << cbs::workload::to_string(bucket);
+  if (high_network_variation) name << "/high-var";
+  s.name = name.str();
+  return s;
+}
+
+}  // namespace cbs::harness

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/config.hpp"
+#include "sla/cost.hpp"
+#include "sla/tickets.hpp"
+#include "workload/arrival.hpp"
+#include "workload/generator.hpp"
+#include "workload/ground_truth.hpp"
+
+namespace cbs::harness {
+
+/// A complete experiment description: workload, network regime, scheduler.
+/// Two scenarios with the same seed and workload fields face byte-identical
+/// arrivals and service times, so scheduler comparisons are paired.
+struct Scenario {
+  std::string name = "scenario";
+  std::uint64_t seed = 42;
+
+  // Workload (§V.A defaults: λ=15 jobs per 3-minute batch, 1–300 MB docs).
+  cbs::workload::SizeBucket bucket = cbs::workload::SizeBucket::kUniform;
+  std::size_t num_batches = 8;
+  double mean_jobs_per_batch = 15.0;
+  double batch_interval_seconds = 180.0;
+  cbs::workload::GroundTruthModel::Config truth{};
+
+  // System.
+  cbs::core::SchedulerKind scheduler =
+      cbs::core::SchedulerKind::kOrderPreserving;
+  cbs::core::EstimatorKind estimator = cbs::core::EstimatorKind::kQrsm;
+  bool high_network_variation = false;
+  bool enable_rescheduler = false;
+
+  // QRSM factory prior: corpus size used for pretraining (0 disables).
+  std::size_t pretrain_samples = 120;
+
+  // OO metric parameters (§V.B.2: 2-minute sampling; Fig. 10: t_l = 4).
+  double oo_sampling_interval = 120.0;
+  std::uint64_t oo_tolerance = 4;
+
+  // Ticket SLA (§I) and pay-as-you-go billing evaluated on every run.
+  cbs::sla::TicketPolicy ticket_policy{};
+  cbs::sla::CostRates cost_rates{};
+
+  /// Full controller override; when set, scheduler/estimator/rescheduler
+  /// and network fields above are still applied on top of it.
+  std::optional<cbs::core::ControllerConfig> config_override;
+
+  /// Resolves the effective controller configuration.
+  [[nodiscard]] cbs::core::ControllerConfig controller_config() const;
+};
+
+/// Named constructor for the §V experiment grid.
+[[nodiscard]] Scenario make_scenario(cbs::core::SchedulerKind scheduler,
+                                     cbs::workload::SizeBucket bucket,
+                                     std::uint64_t seed = 42,
+                                     bool high_network_variation = false);
+
+}  // namespace cbs::harness

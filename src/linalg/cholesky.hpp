@@ -1,0 +1,20 @@
+#pragma once
+
+#include <optional>
+
+#include "linalg/matrix.hpp"
+
+namespace cbs::linalg {
+
+/// Cholesky factorization A = L·Lᵀ of a symmetric positive-definite matrix.
+/// Returns std::nullopt when A is not (numerically) positive definite —
+/// callers fall back to QR or increase the ridge term.
+[[nodiscard]] std::optional<Matrix> cholesky(const Matrix& a);
+
+/// Solves A·x = b given the Cholesky factor L (forward + back substitution).
+[[nodiscard]] Vector cholesky_solve(const Matrix& l, const Vector& b);
+
+/// Convenience: factor-and-solve; std::nullopt if not positive definite.
+[[nodiscard]] std::optional<Vector> solve_spd(const Matrix& a, const Vector& b);
+
+}  // namespace cbs::linalg

@@ -1,0 +1,66 @@
+#include "linalg/least_squares.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/qr.hpp"
+
+namespace cbs::linalg {
+
+namespace {
+
+void fill_fit_quality(const Matrix& a, const Vector& b, FitResult& fit) {
+  const Vector pred = a * fit.coefficients;
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  double mean_b = 0.0;
+  for (double y : b) mean_b += y;
+  mean_b /= static_cast<double>(b.size());
+
+  double ape_sum = 0.0;
+  std::size_t ape_n = 0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    const double r = b[i] - pred[i];
+    ss_res += r * r;
+    ss_tot += (b[i] - mean_b) * (b[i] - mean_b);
+    if (std::abs(b[i]) > 1e-12) {
+      ape_sum += std::abs(r / b[i]);
+      ++ape_n;
+    }
+  }
+  fit.rmse = std::sqrt(ss_res / static_cast<double>(b.size()));
+  fit.r_squared = ss_tot <= 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  fit.mape = ape_n == 0 ? 0.0 : ape_sum / static_cast<double>(ape_n);
+}
+
+}  // namespace
+
+FitResult ridge_least_squares(const Matrix& a, const Vector& b, double lambda) {
+  assert(a.rows() == b.size());
+  assert(a.rows() >= a.cols() && "underdetermined system: need rows >= cols");
+  assert(lambda >= 0.0);
+
+  FitResult fit;
+  Matrix gram = a.gram();
+  for (std::size_t i = 0; i < gram.rows(); ++i) gram(i, i) += lambda;
+
+  if (auto x = solve_spd(gram, a.transpose_times(b))) {
+    fit.coefficients = std::move(*x);
+  } else {
+    auto x2 = qr_least_squares(a, b);
+    // QR can only fail on exact rank deficiency; the caller's ridge term
+    // should prevent reaching this state, so surface it loudly in debug.
+    assert(x2 && "both Cholesky and QR failed: rank-deficient design matrix");
+    if (!x2) {
+      fit.coefficients.assign(a.cols(), 0.0);
+    } else {
+      fit.coefficients = std::move(*x2);
+    }
+    fit.used_qr_fallback = true;
+  }
+  fill_fit_quality(a, b, fit);
+  return fit;
+}
+
+}  // namespace cbs::linalg

@@ -1,0 +1,27 @@
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace cbs::linalg {
+
+/// Result of a least-squares fit, with the goodness-of-fit numbers the QRSM
+/// benches report.
+struct FitResult {
+  Vector coefficients;
+  double r_squared = 0.0;   ///< 1 - SS_res / SS_tot
+  double rmse = 0.0;        ///< sqrt(mean squared residual)
+  double mape = 0.0;        ///< mean |residual / y| over y != 0 rows
+  bool used_qr_fallback = false;
+};
+
+/// Ridge-regularized least squares: minimizes ‖A·x − b‖² + λ‖x‖².
+///
+/// Solves the normal equations (AᵀA + λI)·x = Aᵀb by Cholesky; if that
+/// fails (ill-conditioned Gram matrix and λ = 0) it falls back to
+/// Householder QR. λ must be >= 0. The intercept column, if any, is
+/// regularized like every other coefficient — acceptable here because the
+/// QRSM standardizes features before fitting.
+[[nodiscard]] FitResult ridge_least_squares(const Matrix& a, const Vector& b,
+                                            double lambda);
+
+}  // namespace cbs::linalg

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace cbs::linalg {
+
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix — exactly the capability the QRSM fit needs.
+/// Kept deliberately small: no expression templates, no views; the design
+/// matrices here are at most a few thousand rows by ~100 columns.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  /// Row-wise construction from a nested initializer list; all rows must
+  /// have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Pointer to the start of row r (contiguous row-major storage).
+  [[nodiscard]] double* row_data(std::size_t r) { return data_.data() + r * cols_; }
+  [[nodiscard]] const double* row_data(std::size_t r) const {
+    return data_.data() + r * cols_;
+  }
+
+  [[nodiscard]] Matrix transposed() const;
+  [[nodiscard]] Matrix operator*(const Matrix& rhs) const;
+  [[nodiscard]] Vector operator*(const Vector& v) const;
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator*=(double s);
+
+  /// A^T * A — the Gram matrix of the design matrix, computed without
+  /// materializing the transpose.
+  [[nodiscard]] Matrix gram() const;
+
+  /// A^T * y for the normal equations.
+  [[nodiscard]] Vector transpose_times(const Vector& y) const;
+
+  /// Frobenius norm.
+  [[nodiscard]] double frobenius_norm() const;
+
+  [[nodiscard]] std::string to_string(int precision = 4) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Euclidean norm of a vector.
+[[nodiscard]] double norm(const Vector& v);
+
+/// Dot product; sizes must match.
+[[nodiscard]] double dot(const Vector& a, const Vector& b);
+
+/// a - b elementwise; sizes must match.
+[[nodiscard]] Vector subtract(const Vector& a, const Vector& b);
+
+}  // namespace cbs::linalg

@@ -1,0 +1,57 @@
+#include "linalg/qr.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace cbs::linalg {
+
+std::optional<Vector> qr_least_squares(Matrix a, Vector b) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  assert(m >= n && b.size() == m);
+
+  // In-place Householder: after step k, column k holds R's entries above the
+  // diagonal and (implicitly) the reflector below; we apply reflectors to b
+  // immediately instead of storing Q.
+  Vector v(m);
+  for (std::size_t k = 0; k < n; ++k) {
+    double norm_x = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm_x += a(i, k) * a(i, k);
+    norm_x = std::sqrt(norm_x);
+    if (norm_x < 1e-12) return std::nullopt;  // rank-deficient column
+
+    const double alpha = a(k, k) >= 0.0 ? -norm_x : norm_x;
+    double vnorm2 = 0.0;
+    for (std::size_t i = k; i < m; ++i) {
+      v[i] = a(i, k);
+      if (i == k) v[i] -= alpha;
+      vnorm2 += v[i] * v[i];
+    }
+    if (vnorm2 < 1e-300) continue;  // column already reduced
+
+    // Apply H = I - 2 v vᵀ / (vᵀv) to the trailing columns of A and to b.
+    for (std::size_t j = k; j < n; ++j) {
+      double proj = 0.0;
+      for (std::size_t i = k; i < m; ++i) proj += v[i] * a(i, j);
+      proj = 2.0 * proj / vnorm2;
+      for (std::size_t i = k; i < m; ++i) a(i, j) -= proj * v[i];
+    }
+    double projb = 0.0;
+    for (std::size_t i = k; i < m; ++i) projb += v[i] * b[i];
+    projb = 2.0 * projb / vnorm2;
+    for (std::size_t i = k; i < m; ++i) b[i] -= projb * v[i];
+  }
+
+  // Back substitution on the n×n upper triangle.
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= a(ii, j) * x[j];
+    const double r = a(ii, ii);
+    if (std::abs(r) < 1e-12) return std::nullopt;
+    x[ii] = s / r;
+  }
+  return x;
+}
+
+}  // namespace cbs::linalg

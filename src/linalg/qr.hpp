@@ -1,0 +1,17 @@
+#pragma once
+
+#include <optional>
+
+#include "linalg/matrix.hpp"
+
+namespace cbs::linalg {
+
+/// Householder QR least-squares solver: minimizes ‖A·x − b‖₂ for a tall
+/// matrix A (rows >= cols). More numerically robust than the normal
+/// equations; used as the fallback path of the QRSM fit when the Gram
+/// matrix is ill-conditioned.
+///
+/// Returns std::nullopt when A is numerically rank-deficient.
+[[nodiscard]] std::optional<Vector> qr_least_squares(Matrix a, Vector b);
+
+}  // namespace cbs::linalg

@@ -1,0 +1,16 @@
+#include "models/estimator.hpp"
+
+namespace cbs::models {
+
+QrsmEstimator::QrsmEstimator(QrsmModel::Config config) : model_(config) {}
+
+double QrsmEstimator::estimate_seconds(const cbs::workload::Document& doc) const {
+  return model_.predict(doc.features);
+}
+
+void QrsmEstimator::observe(const cbs::workload::Document& doc,
+                            double actual_seconds) {
+  model_.observe(doc.features, actual_seconds);
+}
+
+}  // namespace cbs::models

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <memory>
+
+#include "models/qrsm.hpp"
+#include "workload/document.hpp"
+#include "workload/ground_truth.hpp"
+
+namespace cbs::models {
+
+/// The interface schedulers use to estimate a document's processing time on
+/// a standard machine (the paper's t^e(i)). Implementations differ in how
+/// much they know — the gap between them is itself an experiment axis.
+class ProcessingTimeEstimator {
+ public:
+  virtual ~ProcessingTimeEstimator() = default;
+
+  /// Estimated standard-machine processing seconds for this document.
+  [[nodiscard]] virtual double estimate_seconds(
+      const cbs::workload::Document& doc) const = 0;
+
+  /// Feedback after a job actually ran (learning estimators adapt; others
+  /// ignore it).
+  virtual void observe(const cbs::workload::Document& doc, double actual_seconds) {
+    (void)doc;
+    (void)actual_seconds;
+  }
+};
+
+/// Production estimator: wraps the QRSM and learns online.
+class QrsmEstimator final : public ProcessingTimeEstimator {
+ public:
+  explicit QrsmEstimator(QrsmModel::Config config = {});
+
+  [[nodiscard]] double estimate_seconds(
+      const cbs::workload::Document& doc) const override;
+  void observe(const cbs::workload::Document& doc, double actual_seconds) override;
+
+  [[nodiscard]] QrsmModel& model() noexcept { return model_; }
+  [[nodiscard]] const QrsmModel& model() const noexcept { return model_; }
+
+ private:
+  QrsmModel model_;
+};
+
+/// Oracle estimator: returns the ground truth's noise-free expectation.
+/// Used by tests (slack invariants under perfect information) and by the
+/// estimation-error ablation bench.
+class OracleEstimator final : public ProcessingTimeEstimator {
+ public:
+  explicit OracleEstimator(const cbs::workload::GroundTruthModel& truth)
+      : truth_(truth) {}
+
+  [[nodiscard]] double estimate_seconds(
+      const cbs::workload::Document& doc) const override {
+    return truth_.expected_seconds(doc.features);
+  }
+
+ private:
+  const cbs::workload::GroundTruthModel& truth_;
+};
+
+/// Deliberately biased estimator (multiplies an inner estimator by a fixed
+/// factor) — drives the over/under-estimation failure modes §IV.D discusses.
+class BiasedEstimator final : public ProcessingTimeEstimator {
+ public:
+  BiasedEstimator(std::unique_ptr<ProcessingTimeEstimator> inner, double factor)
+      : inner_(std::move(inner)), factor_(factor) {}
+
+  [[nodiscard]] double estimate_seconds(
+      const cbs::workload::Document& doc) const override {
+    return inner_->estimate_seconds(doc) * factor_;
+  }
+  void observe(const cbs::workload::Document& doc, double actual_seconds) override {
+    inner_->observe(doc, actual_seconds);
+  }
+
+ private:
+  std::unique_ptr<ProcessingTimeEstimator> inner_;
+  double factor_;
+};
+
+}  // namespace cbs::models

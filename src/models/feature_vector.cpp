@@ -1,0 +1,80 @@
+#include "models/feature_vector.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace cbs::models {
+
+const std::array<std::string_view, kNumRawFeatures>& feature_names() {
+  static const std::array<std::string_view, kNumRawFeatures> names = {
+      "size_mb",        "pages",      "num_images", "avg_image_mb",
+      "resolution_dpi", "color_frac", "text_ratio", "coverage",
+  };
+  return names;
+}
+
+std::array<double, kNumRawFeatures> extract_raw(
+    const cbs::workload::DocumentFeatures& f) {
+  return {
+      f.size_mb,
+      static_cast<double>(f.pages),
+      static_cast<double>(f.num_images),
+      f.avg_image_mb,
+      f.resolution_dpi,
+      f.color_fraction,
+      f.text_ratio,
+      f.coverage,
+  };
+}
+
+std::vector<double> quadratic_expand(const std::array<double, kNumRawFeatures>& x) {
+  std::vector<double> row;
+  row.reserve(quadratic_dim(kNumRawFeatures));
+  row.push_back(1.0);
+  for (double xi : x) row.push_back(xi);
+  for (std::size_t i = 0; i < kNumRawFeatures; ++i) {
+    for (std::size_t j = i + 1; j < kNumRawFeatures; ++j) {
+      row.push_back(x[i] * x[j]);
+    }
+  }
+  for (double xi : x) row.push_back(xi * xi);
+  assert(row.size() == quadratic_dim(kNumRawFeatures));
+  return row;
+}
+
+FeatureScaler FeatureScaler::fit(
+    const std::vector<std::array<double, kNumRawFeatures>>& rows) {
+  FeatureScaler s;
+  s.scale.fill(1.0);
+  if (rows.empty()) return s;
+
+  const auto n = static_cast<double>(rows.size());
+  for (const auto& r : rows) {
+    for (std::size_t i = 0; i < kNumRawFeatures; ++i) s.mean[i] += r[i];
+  }
+  for (double& m : s.mean) m /= n;
+
+  std::array<double, kNumRawFeatures> var{};
+  for (const auto& r : rows) {
+    for (std::size_t i = 0; i < kNumRawFeatures; ++i) {
+      const double d = r[i] - s.mean[i];
+      var[i] += d * d;
+    }
+  }
+  for (std::size_t i = 0; i < kNumRawFeatures; ++i) {
+    const double sd = std::sqrt(var[i] / n);
+    s.scale[i] = sd > 1e-12 ? sd : 1.0;
+  }
+  return s;
+}
+
+std::array<double, kNumRawFeatures> FeatureScaler::apply(
+    const std::array<double, kNumRawFeatures>& x) const {
+  std::array<double, kNumRawFeatures> z{};
+  for (std::size_t i = 0; i < kNumRawFeatures; ++i) {
+    z[i] = (x[i] - mean[i]) / scale[i];
+  }
+  return z;
+}
+
+}  // namespace cbs::models

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "workload/document.hpp"
+
+namespace cbs::models {
+
+/// Number of raw numeric features extracted from a document for the QRSM.
+inline constexpr std::size_t kNumRawFeatures = 8;
+
+/// Names of the raw features, index-aligned with extract_raw().
+[[nodiscard]] const std::array<std::string_view, kNumRawFeatures>& feature_names();
+
+/// Raw feature vector (paper §III.A.1's x_i dimensions): document size,
+/// pages, image count, image size, resolution, color fraction, text ratio,
+/// coverage. Job type influences the workload's *output* characteristics
+/// and is handled outside the response surface.
+[[nodiscard]] std::array<double, kNumRawFeatures> extract_raw(
+    const cbs::workload::DocumentFeatures& f);
+
+/// Dimension of the full quadratic expansion of n raw features:
+/// 1 (intercept) + n (linear) + n(n-1)/2 (interactions) + n (squares).
+[[nodiscard]] constexpr std::size_t quadratic_dim(std::size_t n) {
+  return 1 + n + n * (n - 1) / 2 + n;
+}
+
+/// Full quadratic design row y = a + Σ bᵢxᵢ + Σ cᵢⱼxᵢxⱼ + Σ dᵢxᵢ², laid out
+/// as [1, x₁..xₙ, x₁x₂, x₁x₃, ..., xₙ₋₁xₙ, x₁², ..., xₙ²].
+[[nodiscard]] std::vector<double> quadratic_expand(
+    const std::array<double, kNumRawFeatures>& x);
+
+/// Affine per-feature standardization (z = (x - mean) / scale) fitted on a
+/// training corpus; keeps the quadratic design matrix well-conditioned.
+struct FeatureScaler {
+  std::array<double, kNumRawFeatures> mean{};
+  std::array<double, kNumRawFeatures> scale{};  // never zero
+
+  /// Fits mean/scale on a corpus. Constant features get scale 1.
+  static FeatureScaler fit(
+      const std::vector<std::array<double, kNumRawFeatures>>& rows);
+
+  [[nodiscard]] std::array<double, kNumRawFeatures> apply(
+      const std::array<double, kNumRawFeatures>& x) const;
+};
+
+}  // namespace cbs::models

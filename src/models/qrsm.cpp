@@ -1,0 +1,81 @@
+#include "models/qrsm.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cbs::models {
+
+using cbs::linalg::Matrix;
+using cbs::linalg::Vector;
+
+QrsmModel::QrsmModel(Config config) : config_(config) {
+  assert(config.ridge_lambda >= 0.0);
+  assert(config.refit_interval > 0);
+  assert(config.min_prediction_seconds >= 0.0);
+}
+
+void QrsmModel::fit(const std::vector<cbs::workload::DocumentFeatures>& features,
+                    const std::vector<double>& runtimes) {
+  assert(features.size() == runtimes.size());
+  buffer_.clear();
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    buffer_.push_back(Example{extract_raw(features[i]), runtimes[i]});
+    if (config_.window > 0 && buffer_.size() > config_.window) buffer_.pop_front();
+  }
+  total_observed_ += features.size();
+  since_refit_ = 0;
+  refit();
+}
+
+void QrsmModel::observe(const cbs::workload::DocumentFeatures& features,
+                        double runtime) {
+  assert(runtime >= 0.0);
+  buffer_.push_back(Example{extract_raw(features), runtime});
+  if (config_.window > 0 && buffer_.size() > config_.window) buffer_.pop_front();
+  ++total_observed_;
+  if (++since_refit_ >= config_.refit_interval) {
+    refit();
+  }
+}
+
+void QrsmModel::refit() {
+  since_refit_ = 0;
+  const std::size_t dim = quadratic_dim(kNumRawFeatures);
+  // Require modest oversampling before trusting a quadratic surface.
+  if (buffer_.size() < dim + dim / 4) return;
+
+  std::vector<std::array<double, kNumRawFeatures>> raws;
+  raws.reserve(buffer_.size());
+  for (const auto& ex : buffer_) raws.push_back(ex.raw);
+  scaler_ = FeatureScaler::fit(raws);
+
+  Matrix design(buffer_.size(), dim);
+  Vector y(buffer_.size());
+  double runtime_sum = 0.0;
+  for (std::size_t r = 0; r < buffer_.size(); ++r) {
+    const auto row = quadratic_expand(scaler_.apply(buffer_[r].raw));
+    std::copy(row.begin(), row.end(), design.row_data(r));
+    y[r] = buffer_[r].y;
+    runtime_sum += buffer_[r].y;
+  }
+  mean_runtime_ = runtime_sum / static_cast<double>(buffer_.size());
+  fit_ = cbs::linalg::ridge_least_squares(design, y, config_.ridge_lambda);
+}
+
+double QrsmModel::predict(const cbs::workload::DocumentFeatures& features) const {
+  if (!fit_) {
+    // Cold start: mean of whatever has been seen, else the configured floor.
+    double fallback = config_.min_prediction_seconds;
+    if (!buffer_.empty()) {
+      double sum = 0.0;
+      for (const auto& ex : buffer_) sum += ex.y;
+      fallback = sum / static_cast<double>(buffer_.size());
+    }
+    return std::max(fallback, config_.min_prediction_seconds);
+  }
+  const auto row = quadratic_expand(scaler_.apply(extract_raw(features)));
+  const double y = cbs::linalg::dot(row, fit_->coefficients);
+  return std::max(y, config_.min_prediction_seconds);
+}
+
+}  // namespace cbs::models

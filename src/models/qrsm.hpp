@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "linalg/least_squares.hpp"
+#include "models/feature_vector.hpp"
+#include "workload/document.hpp"
+
+namespace cbs::models {
+
+/// Quadratic Response Surface Model for processing time (paper §III.A.1):
+///
+///   y = a + Σ bᵢxᵢ + Σ cᵢⱼxᵢxⱼ + Σ dᵢxᵢ²
+///
+/// over the standardized document features. The model is fitted by ridge
+/// least squares ("learnt as the solution to a linear programming model" in
+/// the paper; we use the standard response-surface fitting of Myers &
+/// Montgomery, which is penalized least squares) and re-tuned online from
+/// observed (features, actual runtime) pairs, exactly the autonomic loop
+/// the paper describes: start from a factory prior trained on a standard
+/// corpus, then adapt to the deployment.
+class QrsmModel {
+ public:
+  struct Config {
+    double ridge_lambda = 1.0e-3;
+    /// Online buffer: refit happens every `refit_interval` observations,
+    /// using at most `window` most recent pairs. A window of 0 keeps all.
+    std::size_t refit_interval = 32;
+    std::size_t window = 4096;
+    /// Predictions are clamped below by this (a job is never free).
+    double min_prediction_seconds = 1.0;
+  };
+
+  QrsmModel() : QrsmModel(Config{}) {}
+  explicit QrsmModel(Config config);
+
+  /// Fits from scratch on a labeled corpus. Requires at least
+  /// `quadratic_dim(kNumRawFeatures)` rows. Replaces any previous state and
+  /// seeds the online buffer with the corpus.
+  void fit(const std::vector<cbs::workload::DocumentFeatures>& features,
+           const std::vector<double>& runtimes);
+
+  /// Records an observed (features, runtime) pair; refits automatically
+  /// every `refit_interval` observations once enough data exists.
+  void observe(const cbs::workload::DocumentFeatures& features, double runtime);
+
+  /// Predicted processing seconds on a standard machine. Falls back to the
+  /// mean observed runtime (or min_prediction_seconds) before the first fit.
+  [[nodiscard]] double predict(const cbs::workload::DocumentFeatures& features) const;
+
+  [[nodiscard]] bool is_fitted() const noexcept { return fit_.has_value(); }
+  /// Goodness of fit on the most recent training window.
+  [[nodiscard]] const std::optional<cbs::linalg::FitResult>& last_fit() const noexcept {
+    return fit_;
+  }
+  [[nodiscard]] std::size_t observations() const noexcept { return total_observed_; }
+  [[nodiscard]] std::size_t buffered() const noexcept { return buffer_.size(); }
+
+  /// Forces a refit on the current buffer (no-op when data is insufficient).
+  void refit();
+
+ private:
+  struct Example {
+    std::array<double, kNumRawFeatures> raw;
+    double y;
+  };
+
+  Config config_;
+  std::deque<Example> buffer_;
+  std::size_t total_observed_ = 0;
+  std::size_t since_refit_ = 0;
+  FeatureScaler scaler_;
+  std::optional<cbs::linalg::FitResult> fit_;
+  double mean_runtime_ = 0.0;  // fallback prediction before first fit
+};
+
+}  // namespace cbs::models

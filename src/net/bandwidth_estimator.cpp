@@ -1,0 +1,76 @@
+#include "net/bandwidth_estimator.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace cbs::net {
+
+using cbs::sim::kDay;
+using cbs::sim::SimTime;
+
+BandwidthEstimator::BandwidthEstimator(Config config)
+    : config_(config),
+      slot_ewmas_(config.slots_per_day, Ewma(config.alpha)),
+      global_ewma_(config.alpha) {
+  assert(config.slots_per_day > 0);
+  assert(config.prior_rate > 0.0);
+}
+
+std::size_t BandwidthEstimator::slot_of(SimTime t) const {
+  double day_frac = std::fmod(t, kDay) / kDay;
+  if (day_frac < 0.0) day_frac += 1.0;
+  auto slot = static_cast<std::size_t>(day_frac *
+                                       static_cast<double>(config_.slots_per_day));
+  return slot % config_.slots_per_day;
+}
+
+void BandwidthEstimator::observe(SimTime t, double rate) {
+  assert(rate >= 0.0);
+  slot_ewmas_[slot_of(t)].observe(rate);
+  global_ewma_.observe(rate);
+  last_observed_ = rate;
+  ++observations_;
+}
+
+double BandwidthEstimator::slot_estimate(std::size_t slot) const {
+  assert(slot < slot_ewmas_.size());
+  if (slot_ewmas_[slot].has_value()) return slot_ewmas_[slot].value();
+  if (global_ewma_.has_value()) return global_ewma_.value();
+  return config_.prior_rate;
+}
+
+double BandwidthEstimator::estimate(SimTime t) const {
+  return slot_estimate(slot_of(t));
+}
+
+double BandwidthEstimator::estimate_transfer_seconds(SimTime t, double bytes) const {
+  assert(bytes >= 0.0);
+  const double slot_seconds = kDay / static_cast<double>(config_.slots_per_day);
+  double remaining = bytes;
+  double elapsed = 0.0;
+  SimTime cursor = t;
+  // Walk slot by slot; cap the walk at one week to guarantee termination
+  // even with absurdly small estimates, then extrapolate at the last rate.
+  const int max_slots = static_cast<int>(config_.slots_per_day) * 7;
+  for (int i = 0; i < max_slots && remaining > 0.0; ++i) {
+    const double rate = std::max(estimate(cursor), 1.0);
+    const double slot_end =
+        (std::floor(cursor / slot_seconds) + 1.0) * slot_seconds;
+    const double window = slot_end - cursor;
+    const double movable = rate * window;
+    if (movable >= remaining) {
+      elapsed += remaining / rate;
+      remaining = 0.0;
+    } else {
+      elapsed += window;
+      remaining -= movable;
+      cursor = slot_end;
+    }
+  }
+  if (remaining > 0.0) {
+    elapsed += remaining / std::max(estimate(cursor), 1.0);
+  }
+  return elapsed;
+}
+
+}  // namespace cbs::net

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "simcore/time.hpp"
+
+namespace cbs::net {
+
+/// Deterministic time-of-day bandwidth multiplier (the systematic component
+/// of the paper's Fig. 4a): a piecewise-linear curve over 24 hours, wrapped
+/// periodically. Values are multipliers applied to a link's base rate.
+///
+/// The default curve models a business pipe: bandwidth dips during office
+/// hours (competing traffic) and peaks at night.
+class DiurnalProfile {
+ public:
+  /// `anchors` are multipliers at equally spaced times across one day,
+  /// starting at midnight; must contain at least one positive value.
+  explicit DiurnalProfile(std::vector<double> anchors);
+
+  /// The default office-pipe shape (24 hourly anchors).
+  [[nodiscard]] static DiurnalProfile business_pipe();
+
+  /// A flat profile (multiplier 1 at all times) for controlled experiments.
+  [[nodiscard]] static DiurnalProfile flat();
+
+  /// Multiplier at simulated time `t` (linear interpolation, wraps daily).
+  [[nodiscard]] double multiplier_at(cbs::sim::SimTime t) const;
+
+  [[nodiscard]] const std::vector<double>& anchors() const noexcept { return anchors_; }
+
+ private:
+  std::vector<double> anchors_;
+};
+
+/// A bandwidth-throttling episode: capacity is multiplied by `factor`
+/// during [start, end). Used to model ISP throttling / cross-traffic storms.
+struct ThrottleEpisode {
+  cbs::sim::SimTime start;
+  cbs::sim::SimTime end;
+  double factor;  // in (0, 1]
+};
+
+/// Combined multiplier of all episodes active at time `t`.
+[[nodiscard]] double throttle_factor(const std::vector<ThrottleEpisode>& episodes,
+                                     cbs::sim::SimTime t);
+
+}  // namespace cbs::net

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+
+namespace cbs::net {
+
+/// Exponentially weighted moving average, exactly the paper's update rule:
+///
+///   S_n = alpha * Y_n + (1 - alpha) * S_{n-1}
+///
+/// The first observation initializes S directly (no bias toward zero).
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {
+    assert(alpha > 0.0 && alpha <= 1.0);
+  }
+
+  void observe(double y) noexcept {
+    if (count_ == 0) {
+      value_ = y;
+    } else {
+      value_ = alpha_ * y + (1.0 - alpha_) * value_;
+    }
+    ++count_;
+  }
+
+  [[nodiscard]] bool has_value() const noexcept { return count_ > 0; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace cbs::net

@@ -1,0 +1,217 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cbs::net {
+
+using cbs::sim::SimTime;
+
+Link::Link(cbs::sim::Simulation& sim, LinkConfig config, cbs::sim::RngStream rng)
+    : sim_(sim),
+      config_(std::move(config)),
+      noise_(config_.noise_rho, config_.noise_sigma, config_.noise_step,
+             rng.substream("noise")),
+      failure_rng_(rng.substream("failures")) {
+  assert(config_.base_rate > 0.0);
+  assert(config_.per_connection_cap > 0.0);
+  assert(config_.min_capacity_fraction > 0.0 && config_.min_capacity_fraction <= 1.0);
+  assert(config_.failure_probability >= 0.0 && config_.failure_probability < 1.0);
+  assert(config_.max_retries >= 0);
+}
+
+double Link::true_capacity_now() {
+  const SimTime t = sim_.now();
+  const double raw = config_.base_rate * config_.profile.multiplier_at(t) *
+                     throttle_factor(config_.throttles, t) *
+                     noise_.multiplier_at(t);
+  return std::max(raw, config_.base_rate * config_.min_capacity_fraction);
+}
+
+TransferId Link::submit(double bytes, int threads, CompletionHandler on_complete) {
+  assert(bytes > 0.0);
+  assert(threads >= 1);
+  const TransferId id = next_id_++;
+  Active a;
+  a.bytes_total = bytes;
+  a.bytes_remaining = bytes;
+  a.threads = threads;
+  a.requested = sim_.now();
+  a.on_complete = std::move(on_complete);
+  active_.emplace(id, std::move(a));
+  sim_.schedule_in(config_.setup_latency, [this, id] { activate(id); });
+  return id;
+}
+
+void Link::arm_failure(Active& transfer) {
+  transfer.fail_below_remaining = 0.0;
+  if (config_.failure_probability <= 0.0 ||
+      transfer.retries >= config_.max_retries) {
+    return;
+  }
+  if (failure_rng_.next_double() < config_.failure_probability) {
+    // Drop at a uniformly random progress point strictly inside (0, total).
+    transfer.fail_below_remaining =
+        transfer.bytes_total * failure_rng_.uniform(0.02, 0.98);
+  }
+}
+
+void Link::activate(TransferId id) {
+  auto it = active_.find(id);
+  assert(it != active_.end());
+  it->second.activated = true;
+  if (it->second.started == 0.0) it->second.started = sim_.now();
+  it->second.last_progress = sim_.now();
+  arm_failure(it->second);
+  note_busy_transition();
+  progress_all();
+  reallocate();
+  ensure_tick();
+}
+
+void Link::progress_all() {
+  const SimTime now = sim_.now();
+  for (auto& [id, a] : active_) {
+    if (!a.activated) continue;  // still in connection setup
+    a.bytes_remaining =
+        std::max(0.0, a.bytes_remaining - a.rate * (now - a.last_progress));
+    a.last_progress = now;
+    if (a.fail_below_remaining > 0.0 &&
+        a.bytes_remaining <= a.fail_below_remaining &&
+        a.bytes_remaining > 0.0) {
+      // Connection drop: everything transferred so far is lost; the client
+      // reconnects (fresh setup latency) and restarts from byte zero.
+      ++injected_failures_;
+      ++a.retries;
+      a.bytes_remaining = a.bytes_total;
+      a.fail_below_remaining = 0.0;
+      a.activated = false;
+      a.rate = 0.0;
+      sim_.cancel(a.completion_event);
+      const TransferId tid = id;
+      sim_.schedule_in(config_.setup_latency, [this, tid] { activate(tid); });
+    }
+  }
+}
+
+void Link::reallocate() {
+  const double capacity = true_capacity_now();
+  capacity_history_.add(sim_.now(), capacity);
+
+  // Collect activated transfers (setup finished) in deterministic id order.
+  std::vector<std::pair<TransferId, Active*>> live;
+  live.reserve(active_.size());
+  for (auto& [id, a] : active_) {
+    if (a.activated) live.emplace_back(id, &a);
+  }
+
+  // Progressive water-filling by ascending demand: transfers whose thread
+  // demand is below the fair share keep their demand; the slack is shared
+  // among the rest.
+  std::vector<std::size_t> order(live.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    const double dx = live[x].second->threads * config_.per_connection_cap;
+    const double dy = live[y].second->threads * config_.per_connection_cap;
+    if (dx != dy) return dx < dy;
+    return live[x].first < live[y].first;  // deterministic tie-break
+  });
+
+  double remaining_capacity = capacity;
+  std::size_t remaining_count = live.size();
+  for (std::size_t idx : order) {
+    Active& a = *live[idx].second;
+    const double demand = a.threads * config_.per_connection_cap;
+    const double fair_share = remaining_capacity / static_cast<double>(remaining_count);
+    a.rate = std::min(demand, fair_share);
+    remaining_capacity -= a.rate;
+    --remaining_count;
+  }
+
+  // Reschedule completion events. A transfer armed with a connection-drop
+  // threshold fires its event at the crossing instead (progress_all then
+  // performs the reset and complete() backs off).
+  for (auto& [id, a] : live) {
+    sim_.cancel(a->completion_event);
+    if (a->rate > 0.0) {
+      double eta = a->bytes_remaining / a->rate;
+      if (a->fail_below_remaining > 0.0 &&
+          a->bytes_remaining > a->fail_below_remaining) {
+        eta = std::min(
+            eta, (a->bytes_remaining - a->fail_below_remaining) / a->rate +
+                     1.0e-6);
+      }
+      const TransferId tid = id;
+      a->completion_event = sim_.schedule_in(eta, [this, tid] { complete(tid); });
+    }
+  }
+}
+
+void Link::complete(TransferId id) {
+  auto it = active_.find(id);
+  if (it == active_.end()) return;  // stale event (should be cancelled, but be safe)
+  progress_all();
+  Active& a = it->second;
+  if (!a.activated) {
+    // progress_all() injected a connection drop for this very transfer; it
+    // is re-establishing its connection, so only rebalance the survivors.
+    reallocate();
+    return;
+  }
+  // Floating-point progress integration can leave a few bytes of dust; the
+  // completion event was scheduled from the same arithmetic, so anything
+  // left here is rounding noise.
+  assert(a.bytes_remaining < 1e-3 * std::max(1.0, a.bytes_total));
+  TransferRecord rec;
+  rec.id = id;
+  rec.bytes = a.bytes_total;
+  rec.threads = a.threads;
+  rec.retries = a.retries;
+  rec.requested = a.requested;
+  rec.started = a.started;
+  rec.completed = sim_.now();
+  bytes_delivered_ += a.bytes_total;
+  CompletionHandler handler = std::move(a.on_complete);
+  active_.erase(it);
+  completed_.push_back(rec);
+  note_busy_transition();
+  reallocate();
+  if (active_.empty() && tick_scheduled_) {
+    // No work left: drop the pending tick so the simulation can drain.
+    sim_.cancel(tick_event_);
+    tick_scheduled_ = false;
+  }
+  if (handler) handler(rec);
+}
+
+void Link::ensure_tick() {
+  if (tick_scheduled_ || active_.empty()) return;
+  tick_scheduled_ = true;
+  tick_event_ = sim_.schedule_in(config_.noise_step, [this] { on_tick(); });
+}
+
+void Link::on_tick() {
+  tick_scheduled_ = false;
+  if (active_.empty()) return;
+  progress_all();
+  reallocate();
+  ensure_tick();
+}
+
+void Link::note_busy_transition() {
+  const bool now_busy = !active_.empty();
+  if (now_busy && !busy_) {
+    busy_since_ = sim_.now();
+    busy_ = true;
+  } else if (!now_busy && busy_) {
+    busy_accum_ += sim_.now() - busy_since_;
+    busy_ = false;
+  }
+}
+
+double Link::busy_time() const {
+  return busy_accum_ + (busy_ ? sim_.now() - busy_since_ : 0.0);
+}
+
+}  // namespace cbs::net

@@ -1,0 +1,165 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/bandwidth_profile.hpp"
+#include "net/noise.hpp"
+#include "simcore/rng.hpp"
+#include "simcore/simulation.hpp"
+#include "stats/timeseries.hpp"
+
+namespace cbs::net {
+
+/// Configuration of one link direction (upload or download). All rates are
+/// bytes/second.
+struct LinkConfig {
+  std::string name = "link";
+  /// Capacity at diurnal multiplier 1 and noise multiplier 1.
+  double base_rate = 250.0e3;
+  DiurnalProfile profile = DiurnalProfile::flat();
+  /// AR(1) capacity noise (see Ar1LogNoise). sigma = 0 disables noise.
+  double noise_rho = 0.9;
+  double noise_sigma = 0.0;
+  cbs::sim::SimDuration noise_step = 30.0;
+  /// Per-connection (thread) throughput cap — why parallel threads are
+  /// needed to saturate the pipe (paper Fig. 4b).
+  double per_connection_cap = 64.0e3;
+  /// Fixed connection-establishment delay before a transfer starts moving.
+  cbs::sim::SimDuration setup_latency = 0.5;
+  std::vector<ThrottleEpisode> throttles;
+  /// Capacity never drops below this fraction of base_rate, so transfers
+  /// always make progress and every run terminates.
+  double min_capacity_fraction = 0.02;
+  /// Failure injection for the best-effort Internet path: probability that
+  /// a transfer suffers a connection drop at a uniformly random progress
+  /// point and restarts from scratch (after a fresh setup latency). At most
+  /// `max_retries` drops are injected per transfer, so completion is
+  /// guaranteed. 0 disables.
+  double failure_probability = 0.0;
+  int max_retries = 3;
+};
+
+using TransferId = std::uint64_t;
+
+/// Everything known about a finished transfer.
+struct TransferRecord {
+  TransferId id = 0;
+  double bytes = 0.0;
+  int threads = 1;
+  int retries = 0;  ///< injected connection drops survived
+  cbs::sim::SimTime requested = 0.0;  ///< submit() time
+  cbs::sim::SimTime started = 0.0;    ///< after setup latency
+  cbs::sim::SimTime completed = 0.0;
+
+  /// Throughput over the data-moving phase only.
+  [[nodiscard]] double transfer_rate() const {
+    const double dt = completed - started;
+    return dt > 0.0 ? bytes / dt : 0.0;
+  }
+  /// Effective rate including setup latency — what a probe measures.
+  [[nodiscard]] double effective_rate() const {
+    const double dt = completed - requested;
+    return dt > 0.0 ? bytes / dt : 0.0;
+  }
+};
+
+/// One direction of the inter-cloud pipe, modeled as a fluid-flow shared
+/// channel:
+///
+///  * instantaneous capacity c(t) = base · diurnal(t) · throttle(t) · noise(t),
+///    piecewise-constant between allocation events;
+///  * each active transfer demands `threads × per_connection_cap`;
+///  * capacity is divided by progressive (water-filling) max-min fairness,
+///    so a transfer never receives more than its thread demand — this is
+///    exactly why single-threaded transfers cannot saturate the pipe;
+///  * on every transfer start/finish and on a periodic tick (noise grid),
+///    rates are recomputed and completion events rescheduled.
+///
+/// The model conserves bytes exactly (see LinkTest.ConservesBytes) and is
+/// fully deterministic given the seed.
+class Link {
+ public:
+  using CompletionHandler = std::function<void(const TransferRecord&)>;
+
+  Link(cbs::sim::Simulation& sim, LinkConfig config, cbs::sim::RngStream rng);
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Starts a transfer of `bytes` using `threads` parallel connections;
+  /// `on_complete` fires (as a simulation event) when the last byte lands.
+  TransferId submit(double bytes, int threads, CompletionHandler on_complete);
+
+  /// Ground-truth capacity at the current sim time. Advances the noise
+  /// process, so this is the *actual* instantaneous capacity (schedulers
+  /// must not call this — they see only BandwidthEstimator).
+  [[nodiscard]] double true_capacity_now();
+
+  [[nodiscard]] std::size_t active_transfers() const noexcept { return active_.size(); }
+  [[nodiscard]] double total_bytes_delivered() const noexcept { return bytes_delivered_; }
+  [[nodiscard]] const std::vector<TransferRecord>& completed() const noexcept {
+    return completed_;
+  }
+  /// Total time during which at least one transfer was active.
+  [[nodiscard]] double busy_time() const;
+  /// Capacity samples recorded at every allocation event (for Fig. 4a).
+  [[nodiscard]] const cbs::stats::TimeSeries& capacity_history() const noexcept {
+    return capacity_history_;
+  }
+  /// Connection drops injected so far (failure_probability > 0).
+  [[nodiscard]] std::uint64_t injected_failures() const noexcept {
+    return injected_failures_;
+  }
+  [[nodiscard]] const LinkConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Active {
+    double bytes_total = 0.0;
+    double bytes_remaining = 0.0;
+    int threads = 1;
+    double rate = 0.0;
+    bool activated = false;  ///< setup latency elapsed; data is flowing
+    int retries = 0;
+    /// When > 0: the transfer drops its connection once bytes_remaining
+    /// falls below this threshold, and restarts from scratch.
+    double fail_below_remaining = 0.0;
+    cbs::sim::SimTime last_progress = 0.0;
+    cbs::sim::SimTime requested = 0.0;
+    cbs::sim::SimTime started = 0.0;
+    cbs::sim::EventId completion_event{};
+    CompletionHandler on_complete;
+  };
+
+  void activate(TransferId id);
+  void arm_failure(Active& transfer);
+  void progress_all();
+  void reallocate();
+  void complete(TransferId id);
+  void ensure_tick();
+  void on_tick();
+  void note_busy_transition();
+
+  cbs::sim::Simulation& sim_;
+  LinkConfig config_;
+  Ar1LogNoise noise_;
+  cbs::sim::RngStream failure_rng_;
+  std::uint64_t injected_failures_ = 0;
+  // std::map: deterministic iteration order (allocation must not depend on
+  // hashing), and the id ordering equals submission ordering.
+  std::map<TransferId, Active> active_;
+  std::vector<TransferRecord> completed_;
+  TransferId next_id_ = 1;
+  double bytes_delivered_ = 0.0;
+  bool tick_scheduled_ = false;
+  cbs::sim::EventId tick_event_{};
+  cbs::stats::TimeSeries capacity_history_;
+  // Busy-time accounting.
+  double busy_accum_ = 0.0;
+  cbs::sim::SimTime busy_since_ = 0.0;
+  bool busy_ = false;
+};
+
+}  // namespace cbs::net

@@ -1,0 +1,62 @@
+#include "net/noise.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "stats/distributions.hpp"
+
+namespace cbs::net {
+
+using cbs::sim::SimDuration;
+using cbs::sim::SimTime;
+
+Ar1LogNoise::Ar1LogNoise(double rho, double sigma, SimDuration step,
+                         cbs::sim::RngStream rng)
+    : rho_(rho), sigma_(sigma), step_(step), rng_(rng) {
+  assert(rho >= 0.0 && rho < 1.0);
+  assert(sigma >= 0.0);
+  assert(step > 0.0);
+}
+
+double Ar1LogNoise::stationary_sigma() const noexcept {
+  return sigma_ / std::sqrt(1.0 - rho_ * rho_);
+}
+
+void Ar1LogNoise::advance_one_step() {
+  state_ = rho_ * state_ + sigma_ * cbs::stats::sample_standard_normal(rng_);
+  grid_time_ += step_;
+}
+
+double Ar1LogNoise::multiplier_at(SimTime t) {
+  assert(t + 1e-9 >= grid_time_ - step_ && "noise queried backwards in time");
+  if (sigma_ == 0.0) {
+    grid_time_ = t;
+    return 1.0;
+  }
+  const auto steps_needed =
+      static_cast<long long>(std::floor((t - grid_time_) / step_)) + 1;
+  if (steps_needed > 0) {
+    // Beyond this many steps the process forgets its state; draw directly
+    // from the stationary distribution instead of looping.
+    const long long mixing_horizon =
+        50 + static_cast<long long>(50.0 / (1.0 - rho_));
+    if (steps_needed > mixing_horizon) {
+      state_ = stationary_sigma() * cbs::stats::sample_standard_normal(rng_);
+      grid_time_ += static_cast<double>(steps_needed) * step_;
+    } else {
+      for (long long i = 0; i < steps_needed; ++i) advance_one_step();
+    }
+  }
+  return current();
+}
+
+double Ar1LogNoise::current() const noexcept {
+  // Mean-one normalization: E[exp(X)] = exp(sigma_stat^2 / 2) for the
+  // stationary law, so we divide it out — raising sigma changes variance,
+  // not average capacity (otherwise "high variation" scenarios would get a
+  // systematically faster pipe and comparisons would be confounded).
+  const double s = stationary_sigma();
+  return std::exp(state_ - 0.5 * s * s);
+}
+
+}  // namespace cbs::net

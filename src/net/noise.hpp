@@ -1,0 +1,45 @@
+#pragma once
+
+#include "simcore/rng.hpp"
+#include "simcore/time.hpp"
+
+namespace cbs::net {
+
+/// Stochastic component of link capacity: a mean-reverting AR(1) process in
+/// log space, advanced on a fixed grid. The multiplier is exp(state), so it
+/// is always positive; sigma = 0 gives a deterministic link.
+///
+///   x_{k+1} = rho * x_k + sigma * eps_k,   multiplier = exp(x)
+///
+/// The "high network variation" scenarios of the paper's Fig. 9/10 are
+/// produced by raising sigma.
+class Ar1LogNoise {
+ public:
+  Ar1LogNoise(double rho, double sigma, cbs::sim::SimDuration step,
+              cbs::sim::RngStream rng);
+
+  /// Advances the process to time `t` (multiple grid steps if needed; after
+  /// ~50·(1/(1-rho)) idle steps it redraws from the stationary law directly,
+  /// so long idle gaps cost O(1)). `t` must be non-decreasing across calls.
+  double multiplier_at(cbs::sim::SimTime t);
+
+  /// Multiplier without advancing (last computed state).
+  [[nodiscard]] double current() const noexcept;
+
+  [[nodiscard]] cbs::sim::SimDuration step() const noexcept { return step_; }
+
+  /// Stationary standard deviation of the log-state.
+  [[nodiscard]] double stationary_sigma() const noexcept;
+
+ private:
+  void advance_one_step();
+
+  double rho_;
+  double sigma_;
+  cbs::sim::SimDuration step_;
+  cbs::sim::RngStream rng_;
+  double state_ = 0.0;
+  cbs::sim::SimTime grid_time_ = 0.0;  // time corresponding to state_
+};
+
+}  // namespace cbs::net

@@ -1,0 +1,45 @@
+#include "simcore/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace cbs::sim {
+
+EventId EventQueue::push(SimTime t, Callback cb) {
+  assert(is_valid_time(t) && "event time must be finite and non-negative");
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{t, seq, std::move(cb)});
+  pending_.insert(seq);
+  return EventId{seq};
+}
+
+bool EventQueue::cancel(EventId id) {
+  // Erasing from pending_ is the single source of truth; the heap entry is
+  // discarded lazily when it reaches the top.
+  return pending_.erase(id.value) > 0;
+}
+
+void EventQueue::drop_cancelled_head() const {
+  while (!heap_.empty() && !pending_.contains(heap_.top().seq)) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled_head();
+  return heap_.empty() ? kTimeInfinity : heap_.top().time;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_cancelled_head();
+  assert(!heap_.empty() && "pop() on empty EventQueue");
+  // priority_queue::top() is const&; the callback must be moved out, so we
+  // cast away constness — safe because we pop immediately afterwards.
+  auto& top = const_cast<Entry&>(heap_.top());
+  Popped out{top.time, std::move(top.callback)};
+  pending_.erase(top.seq);
+  heap_.pop();
+  return out;
+}
+
+}  // namespace cbs::sim

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "simcore/time.hpp"
+
+namespace cbs::sim {
+
+/// Opaque handle to a scheduled event; used for cancellation.
+struct EventId {
+  std::uint64_t value = 0;
+  friend bool operator==(EventId, EventId) = default;
+};
+
+/// Priority queue of timestamped callbacks with stable FIFO tie-breaking and
+/// O(1) amortized cancellation (lazy deletion on pop).
+///
+/// Determinism contract: two events at the same timestamp fire in the order
+/// they were scheduled, regardless of heap internals. This is what makes
+/// whole-simulation replay bit-exact.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedules `cb` at absolute time `t`. Precondition: is_valid_time(t).
+  EventId push(SimTime t, Callback cb);
+
+  /// Cancels a pending event. Returns true if it was still pending;
+  /// cancelling an already-fired or already-cancelled event is a no-op.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const noexcept { return pending_.empty(); }
+
+  /// Timestamp of the next live event; kTimeInfinity when empty.
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Removes and returns the next live event's callback along with its time.
+  /// Precondition: !empty().
+  struct Popped {
+    SimTime time;
+    Callback callback;
+  };
+  Popped pop();
+
+  /// Number of live (non-cancelled) events still pending.
+  [[nodiscard]] std::size_t size() const noexcept { return pending_.size(); }
+
+  /// Total events scheduled over the queue's lifetime (diagnostics).
+  [[nodiscard]] std::uint64_t total_scheduled() const noexcept { return next_seq_ - 1; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;  // insertion order; also the EventId value
+    Callback callback;
+  };
+
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled_head() const;
+
+  // `mutable` so that next_time() can lazily discard cancelled heads.
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<std::uint64_t> pending_;  // ids scheduled and not yet fired/cancelled
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace cbs::sim

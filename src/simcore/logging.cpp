@@ -1,0 +1,46 @@
+#include "simcore/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace cbs::sim {
+
+namespace {
+std::atomic<LogLevel> g_threshold{LogLevel::kWarn};
+}  // namespace
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void Logger::set_global_threshold(LogLevel level) noexcept {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+LogLevel Logger::global_threshold() noexcept {
+  return g_threshold.load(std::memory_order_relaxed);
+}
+
+Logger::Logger(std::string component, LogLevel threshold)
+    : component_(std::move(component)), threshold_(threshold) {
+  if (global_threshold() > threshold_) threshold_ = global_threshold();
+}
+
+void Logger::emit(LogLevel level, SimTime t, std::string_view msg) {
+  if (sink_) {
+    sink_(level, t, msg);
+    return;
+  }
+  std::fprintf(stderr, "%-5s t=%10.2f %.*s\n", to_string(level).data(), t,
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace cbs::sim

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "simcore/time.hpp"
+
+namespace cbs::sim {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+[[nodiscard]] std::string_view to_string(LogLevel level) noexcept;
+
+/// Minimal leveled logger stamped with simulated time.
+///
+/// The sink is injectable so tests can capture output and benches can mute
+/// it; the default sink writes to stderr. Logging below the threshold costs
+/// one branch — message formatting is skipped entirely.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, SimTime, std::string_view)>;
+
+  explicit Logger(std::string component, LogLevel threshold = LogLevel::kWarn);
+
+  void set_threshold(LogLevel level) noexcept { threshold_ = level; }
+  [[nodiscard]] LogLevel threshold() const noexcept { return threshold_; }
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return level >= threshold_ && threshold_ != LogLevel::kOff;
+  }
+
+  template <typename... Args>
+  void log(LogLevel level, SimTime t, Args&&... args) {
+    if (!enabled(level)) return;
+    std::ostringstream oss;
+    oss << "[" << component_ << "] ";
+    (oss << ... << std::forward<Args>(args));
+    emit(level, t, oss.str());
+  }
+
+  template <typename... Args>
+  void debug(SimTime t, Args&&... args) {
+    log(LogLevel::kDebug, t, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void info(SimTime t, Args&&... args) {
+    log(LogLevel::kInfo, t, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void warn(SimTime t, Args&&... args) {
+    log(LogLevel::kWarn, t, std::forward<Args>(args)...);
+  }
+
+  /// Process-wide default threshold applied to newly created loggers.
+  static void set_global_threshold(LogLevel level) noexcept;
+  [[nodiscard]] static LogLevel global_threshold() noexcept;
+
+ private:
+  void emit(LogLevel level, SimTime t, std::string_view msg);
+
+  std::string component_;
+  LogLevel threshold_;
+  Sink sink_;
+};
+
+}  // namespace cbs::sim

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "simcore/event_queue.hpp"
+#include "simcore/time.hpp"
+
+namespace cbs::sim {
+
+/// The discrete-event simulation engine.
+///
+/// Components schedule callbacks; `run()` drains them in timestamp order,
+/// advancing the clock. The engine is single-threaded by design — all
+/// parallelism in the modeled system (clusters, concurrent transfers) is
+/// expressed as interleaved events, which keeps every run deterministic.
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules `cb` at absolute time `t >= now()`.
+  EventId schedule_at(SimTime t, EventQueue::Callback cb);
+
+  /// Schedules `cb` after a non-negative delay.
+  EventId schedule_in(SimDuration delay, EventQueue::Callback cb);
+
+  /// Cancels a pending event; no-op if already fired/cancelled.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs until the event queue is empty. Returns the final clock value.
+  SimTime run();
+
+  /// Runs every event with timestamp <= `deadline` (events at exactly
+  /// `deadline` still fire), then advances the clock to `deadline` — even
+  /// when the queue drains early. Returns the clock.
+  SimTime run_until(SimTime deadline);
+
+  /// Fires at most one event. Returns false if the queue was empty.
+  bool step();
+
+  /// Requests that run()/run_until() return before the next event fires.
+  void stop() noexcept { stop_requested_ = true; }
+
+  [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::uint64_t events_processed() const noexcept { return processed_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = kTimeZero;
+  std::uint64_t processed_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace cbs::sim

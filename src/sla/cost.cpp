@@ -1,0 +1,43 @@
+#include "sla/cost.hpp"
+
+#include <sstream>
+
+namespace cbs::sla {
+
+namespace {
+constexpr double kSecondsPerHour = 3600.0;
+constexpr double kBytesPerGb = 1.0e9;
+constexpr double kSecondsPerMonth = 30.0 * 86400.0;
+}  // namespace
+
+CostReport compute_cost(const CostInputs& inputs, const CostRates& rates) {
+  CostReport r;
+  r.ec_compute = inputs.ec_provisioned_machine_seconds / kSecondsPerHour *
+                 rates.ec_machine_hour;
+  r.egress = inputs.uplink_bytes / kBytesPerGb * rates.egress_per_gb;
+  r.ingress = inputs.downlink_bytes / kBytesPerGb * rates.ingress_per_gb;
+  r.storage = inputs.store_byte_seconds / kBytesPerGb / kSecondsPerMonth *
+              rates.store_gb_month;
+  r.ic_amortized = inputs.ic_machine_seconds / kSecondsPerHour *
+                   rates.ic_machine_hour_amortized;
+  return r;
+}
+
+std::string CostReport::to_string() const {
+  std::ostringstream oss;
+  oss.precision(4);
+  oss << "EC compute " << ec_compute << " + egress " << egress << " + ingress "
+      << ingress << " + storage " << storage << " = cloud " << cloud_total()
+      << " (IC amortized " << ic_amortized << ", grand " << grand_total()
+      << ")";
+  return oss.str();
+}
+
+double cloud_cost_per_output_mb(const CostReport& report,
+                                const std::vector<JobOutcome>& outcomes) {
+  double output_mb = 0.0;
+  for (const JobOutcome& o : outcomes) output_mb += o.output_mb;
+  return output_mb <= 0.0 ? 0.0 : report.cloud_total() / output_mb;
+}
+
+}  // namespace cbs::sla

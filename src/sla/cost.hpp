@@ -1,0 +1,61 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sla/job_outcome.hpp"
+
+namespace cbs::sla {
+
+/// Pay-as-you-go economics — the paper's motivating constraint (§I:
+/// dedicated processing/network resources are "cost-prohibitive";
+/// "remote computation can completely be scaled down during periods of low
+/// demand without incurring processing or more importantly, bandwidth
+/// costs"). Prices are abstract currency units; the defaults mirror 2010
+/// EC2/S3-class list prices (m1.small-hour and per-GB transfer).
+struct CostRates {
+  double ec_machine_hour = 0.10;       ///< per provisioned EC machine-hour
+  double egress_per_gb = 0.15;         ///< data leaving the IC (uploads)
+  double ingress_per_gb = 0.10;        ///< data returning (downloads)
+  double store_gb_month = 0.15;        ///< staging storage (prorated)
+  /// Amortized internal cost per machine-hour (owned hardware, power,
+  /// space). Only used for totals that compare against an all-IC build-out.
+  double ic_machine_hour_amortized = 0.04;
+};
+
+/// Itemized bill for one run.
+struct CostReport {
+  double ec_compute = 0.0;
+  double egress = 0.0;
+  double ingress = 0.0;
+  double storage = 0.0;
+  double ic_amortized = 0.0;
+
+  [[nodiscard]] double cloud_total() const {
+    return ec_compute + egress + ingress + storage;
+  }
+  [[nodiscard]] double grand_total() const {
+    return cloud_total() + ic_amortized;
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Inputs measured by the controller during a run.
+struct CostInputs {
+  double ec_provisioned_machine_seconds = 0.0;
+  double uplink_bytes = 0.0;
+  double downlink_bytes = 0.0;
+  /// Integral of staging occupancy over time (byte-seconds).
+  double store_byte_seconds = 0.0;
+  double ic_machine_seconds = 0.0;
+};
+
+[[nodiscard]] CostReport compute_cost(const CostInputs& inputs,
+                                      const CostRates& rates);
+
+/// Cloud cost per processed MB of output — the unit economics a capacity
+/// planner compares against the amortized cost of buying more IC machines.
+[[nodiscard]] double cloud_cost_per_output_mb(
+    const CostReport& report, const std::vector<JobOutcome>& outcomes);
+
+}  // namespace cbs::sla

@@ -1,0 +1,67 @@
+#include "sla/oo_metric.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cbs::sla {
+
+using cbs::sim::SimDuration;
+using cbs::sim::SimTime;
+
+OoMetricCalculator::OoMetricCalculator(const std::vector<JobOutcome>& outcomes) {
+  by_id_.resize(outcomes.size() + 1);
+  for (const JobOutcome& o : outcomes) {
+    assert(o.seq_id >= 1 && o.seq_id < by_id_.size());
+    by_id_[o.seq_id] = JobInfo{o.completed, o.output_mb};
+    last_completion_ = std::max(last_completion_, o.completed);
+  }
+}
+
+OoSample OoMetricCalculator::sample_at(SimTime t, std::uint64_t tolerance) const {
+  OoSample s;
+  s.time = t;
+
+  // Single forward pass over ids: `completed_below` is |J_it| as i grows.
+  std::uint64_t completed_below = 0;  // completed jobs with id <= i
+  double prefix_mb = 0.0;             // their total output
+  std::uint64_t best_id = 0;
+  double best_mb = 0.0;
+  for (std::uint64_t i = 1; i < by_id_.size(); ++i) {
+    const bool done = by_id_[i].completed <= t && by_id_[i].completed > 0.0;
+    if (done) {
+      ++completed_below;
+      prefix_mb += by_id_[i].output_mb;
+      ++s.completed_count;
+      // Eq. 5: j_i ∈ C_t  AND  i − t_l ≤ |J_it|.
+      if (i <= tolerance + completed_below) {
+        best_id = i;
+        best_mb = prefix_mb;
+      }
+    }
+  }
+  s.max_in_order = best_id;
+  s.ordered_mb = best_mb;
+  return s;
+}
+
+std::vector<OoSample> OoMetricCalculator::series(SimDuration interval,
+                                                 std::uint64_t tolerance) const {
+  assert(interval > 0.0);
+  std::vector<OoSample> out;
+  const SimTime end = last_completion_ + interval;
+  for (SimTime t = 0.0; t <= end; t += interval) {
+    out.push_back(sample_at(t, tolerance));
+  }
+  return out;
+}
+
+cbs::stats::TimeSeries OoMetricCalculator::ordered_mb_series(
+    SimDuration interval, std::uint64_t tolerance) const {
+  cbs::stats::TimeSeries ts;
+  for (const OoSample& s : series(interval, tolerance)) {
+    ts.add(s.time, s.ordered_mb);
+  }
+  return ts;
+}
+
+}  // namespace cbs::sla

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "simcore/time.hpp"
+
+namespace cbs::sla {
+
+/// Slackness of §II.A. The slack of the i-th queued job is the latest of
+/// the estimated completion times of the jobs preceding it (Eq. 1):
+///
+///   slack(j_i) = max(T_i),  T_i = { t_c^e(i') : i' < i }
+///
+/// and j_i may be bursted when its full external round trip finishes within
+/// that cushion (Eq. 2):
+///
+///   slack(j_i) >= t^e(i) + s_i/l(t_i) + o_i/l(t_i + t')
+///
+/// Both sides are absolute times here (the harness works in absolute sim
+/// time); callers pass the estimated completion times of the preceding jobs
+/// as currently placed.
+
+/// Eq. 1. `preceding_completion_estimates` holds t_c^e of jobs ahead of i;
+/// returns `fallback` (typically "now") when the queue ahead is empty —
+/// a job with nothing ahead of it has no cushion.
+[[nodiscard]] cbs::sim::SimTime slack_time(
+    const std::vector<cbs::sim::SimTime>& preceding_completion_estimates,
+    cbs::sim::SimTime fallback);
+
+/// Eq. 2 split into its round-trip components, evaluated with the
+/// scheduler's estimated rates. Returns the estimated absolute completion
+/// time of the external round trip started at `start`:
+///   start + upload + processing + download.
+[[nodiscard]] cbs::sim::SimTime external_round_trip_finish(
+    cbs::sim::SimTime start, double upload_seconds, double processing_seconds,
+    double download_seconds);
+
+/// The burst admission test of Algorithm 2, line 12: the estimated external
+/// finish must not exceed the slack (with an optional safety margin τ —
+/// §IV says the bursted output should be needed "only a small time τ before
+/// the jobs preceding it complete", i.e. finishing τ early is the target).
+[[nodiscard]] bool satisfies_slack(cbs::sim::SimTime external_finish_estimate,
+                                   cbs::sim::SimTime slack,
+                                   cbs::sim::SimDuration safety_margin = 0.0);
+
+}  // namespace cbs::sla

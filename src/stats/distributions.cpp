@@ -1,0 +1,84 @@
+#include "stats/distributions.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace cbs::stats {
+
+using cbs::sim::RngStream;
+
+double sample_exponential(RngStream& rng, double rate) {
+  assert(rate > 0.0);
+  // 1 - u avoids log(0); u in [0,1) so 1-u in (0,1].
+  return -std::log(1.0 - rng.next_double()) / rate;
+}
+
+std::uint64_t sample_poisson(RngStream& rng, double mean) {
+  assert(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  if (mean > 60.0) {
+    // Normal approximation with continuity correction; error is negligible
+    // at this mean for simulation purposes.
+    const double x = mean + std::sqrt(mean) * sample_standard_normal(rng);
+    return x <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(x));
+  }
+  const double limit = std::exp(-mean);
+  std::uint64_t k = 0;
+  double prod = rng.next_double();
+  while (prod > limit) {
+    ++k;
+    prod *= rng.next_double();
+  }
+  return k;
+}
+
+double sample_standard_normal(RngStream& rng) {
+  const double u1 = 1.0 - rng.next_double();  // (0,1]
+  const double u2 = rng.next_double();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double sample_normal(RngStream& rng, double mean, double stddev) {
+  assert(stddev >= 0.0);
+  return mean + stddev * sample_standard_normal(rng);
+}
+
+double sample_lognormal(RngStream& rng, double mu, double sigma) {
+  return std::exp(sample_normal(rng, mu, sigma));
+}
+
+double sample_bounded_pareto(RngStream& rng, double alpha, double lo, double hi) {
+  assert(alpha > 0.0 && lo > 0.0 && hi > lo);
+  const double u = rng.next_double();
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  // Inverse-CDF of the bounded Pareto.
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+double sample_triangular(RngStream& rng, double lo, double mode, double hi) {
+  assert(lo <= mode && mode <= hi && lo < hi);
+  const double u = rng.next_double();
+  const double fc = (mode - lo) / (hi - lo);
+  if (u < fc) return lo + std::sqrt(u * (hi - lo) * (mode - lo));
+  return hi - std::sqrt((1.0 - u) * (hi - lo) * (hi - mode));
+}
+
+std::size_t sample_discrete(RngStream& rng, const std::vector<double>& weights) {
+  assert(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  assert(total > 0.0);
+  double x = rng.next_double() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return i;
+  }
+  return weights.size() - 1;  // floating-point edge: return the last bucket
+}
+
+}  // namespace cbs::stats

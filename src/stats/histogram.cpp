@@ -1,0 +1,60 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace cbs::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), bucket_width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  assert(hi > lo && buckets > 0);
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / bucket_width_);
+  idx = std::min(idx, counts_.size() - 1);  // guard float rounding at hi_
+  ++counts_[idx];
+}
+
+std::size_t Histogram::count_at(std::size_t bucket) const {
+  assert(bucket < counts_.size());
+  return counts_[bucket];
+}
+
+double Histogram::bucket_lo(std::size_t bucket) const {
+  assert(bucket < counts_.size());
+  return lo_ + bucket_width_ * static_cast<double>(bucket);
+}
+
+double Histogram::bucket_hi(std::size_t bucket) const {
+  return bucket_lo(bucket) + bucket_width_;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  const std::size_t peak = counts_.empty()
+                               ? 0
+                               : *std::max_element(counts_.begin(), counts_.end());
+  std::ostringstream oss;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::size_t bar =
+        peak == 0 ? 0 : counts_[b] * width / peak;
+    oss << "[" << bucket_lo(b) << ", " << bucket_hi(b) << ") "
+        << std::string(bar, '#') << " " << counts_[b] << "\n";
+  }
+  if (underflow_ > 0) oss << "underflow: " << underflow_ << "\n";
+  if (overflow_ > 0) oss << "overflow: " << overflow_ << "\n";
+  return oss.str();
+}
+
+}  // namespace cbs::stats

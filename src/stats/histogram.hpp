@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cbs::stats {
+
+/// Fixed-width histogram over [lo, hi) with overflow/underflow buckets.
+/// Used by benches to print distribution shapes (completion-time spreads,
+/// job-size mixes) the way the paper's figures do.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count_at(std::size_t bucket) const;
+  [[nodiscard]] std::size_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bucket_lo(std::size_t bucket) const;
+  [[nodiscard]] double bucket_hi(std::size_t bucket) const;
+
+  /// Renders an ASCII bar chart, one bucket per line, `width` chars max bar.
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bucket_width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace cbs::stats

@@ -1,0 +1,79 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cbs::stats {
+
+void Summary::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void Summary::merge(const Summary& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Summary::mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
+
+double Summary::variance() const noexcept {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double Summary::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Summary::cov() const noexcept {
+  const double m = mean();
+  return m == 0.0 ? 0.0 : stddev() / m;
+}
+
+double quantile(std::vector<double> sample, double q) {
+  assert(!sample.empty());
+  assert(q >= 0.0 && q <= 1.0);
+  std::sort(sample.begin(), sample.end());
+  if (sample.size() == 1) return sample.front();
+  const double pos = q * static_cast<double>(sample.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sample.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sample[lo] * (1.0 - frac) + sample[hi] * frac;
+}
+
+double mean_of(const std::vector<double>& sample) noexcept {
+  if (sample.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : sample) s += x;
+  return s / static_cast<double>(sample.size());
+}
+
+double stddev_of(const std::vector<double>& sample) noexcept {
+  if (sample.size() < 2) return 0.0;
+  const double m = mean_of(sample);
+  double s = 0.0;
+  for (double x : sample) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(sample.size() - 1));
+}
+
+}  // namespace cbs::stats

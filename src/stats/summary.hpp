@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cbs::stats {
+
+/// Streaming univariate summary: count, mean, variance (Welford), extrema.
+/// Used everywhere a metric is accumulated during a run.
+class Summary {
+ public:
+  void add(double x) noexcept;
+  void merge(const Summary& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept;
+  /// Sample variance (n-1 denominator); 0 when count < 2.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Coefficient of variation stddev/mean; 0 when mean == 0.
+  [[nodiscard]] double cov() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double total() const noexcept { return mean() * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact quantile of a sample using linear interpolation between order
+/// statistics (type-7, the numpy default). q in [0,1]. Sample must be
+/// non-empty; the input vector is copied and sorted.
+[[nodiscard]] double quantile(std::vector<double> sample, double q);
+
+/// Mean of a sample; 0 for an empty sample.
+[[nodiscard]] double mean_of(const std::vector<double>& sample) noexcept;
+
+/// Sample standard deviation over a window; 0 when fewer than 2 elements.
+[[nodiscard]] double stddev_of(const std::vector<double>& sample) noexcept;
+
+}  // namespace cbs::stats

@@ -1,0 +1,18 @@
+#include "workload/document.hpp"
+
+namespace cbs::workload {
+
+std::string_view to_string(JobType type) noexcept {
+  switch (type) {
+    case JobType::kNewspaper: return "newspaper";
+    case JobType::kBook: return "book";
+    case JobType::kMarketingMaterial: return "marketing";
+    case JobType::kMailCampaign: return "mail-campaign";
+    case JobType::kCreditCardStatement: return "statement";
+    case JobType::kImagePersonalization: return "image-personalization";
+    case JobType::kVariableDataPromo: return "variable-promo";
+  }
+  return "?";
+}
+
+}  // namespace cbs::workload

@@ -1,0 +1,80 @@
+#include "workload/seasonal.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "stats/distributions.hpp"
+
+namespace cbs::workload {
+
+using cbs::sim::kDay;
+using cbs::sim::kHour;
+using cbs::sim::SimTime;
+
+SeasonalArrivalProcess::IntensityFn SeasonalArrivalProcess::business_day() {
+  return [](SimTime t) {
+    const double hour = std::fmod(t, kDay) / kHour;
+    if (hour < 6.0) return 0.05;   // overnight trickle
+    if (hour < 9.0) return 0.05 + 0.95 * (hour - 6.0) / 3.0;  // morning ramp
+    if (hour < 12.0) return 1.0;   // morning plateau
+    if (hour < 13.0) return 0.6;   // lunch dip
+    if (hour < 17.0) return 1.2;   // afternoon peak
+    if (hour < 20.0) return 1.2 - (hour - 17.0) * 0.35;       // wind-down
+    return 0.1;
+  };
+}
+
+SeasonalArrivalProcess::IntensityFn SeasonalArrivalProcess::business_week() {
+  const IntensityFn day = business_day();
+  return [day](SimTime t) {
+    const auto day_index =
+        static_cast<int>(std::fmod(t, 7.0 * kDay) / kDay);  // 0 = Monday
+    const double weekend = day_index >= 5 ? 0.15 : 1.0;
+    return weekend * day(t);
+  };
+}
+
+SeasonalArrivalProcess::SeasonalArrivalProcess(Config config,
+                                               IntensityFn intensity,
+                                               WorkloadGenerator& generator,
+                                               cbs::sim::RngStream rng)
+    : config_(config),
+      intensity_(std::move(intensity)),
+      generator_(generator),
+      rng_(rng) {
+  assert(config.batch_interval > 0.0);
+  assert(config.base_jobs_per_batch > 0.0);
+  assert(intensity_);
+}
+
+std::vector<Batch> SeasonalArrivalProcess::generate_all() {
+  std::vector<Batch> batches;
+  std::size_t index = 0;
+  for (std::size_t slot = 0; slot < config_.num_batches; ++slot) {
+    const SimTime at = static_cast<double>(slot) * config_.batch_interval;
+    const double intensity = intensity_(at);
+    assert(intensity >= 0.0);
+    const auto n = cbs::stats::sample_poisson(
+        rng_, config_.base_jobs_per_batch * intensity);
+    if (n == 0 && config_.skip_empty_batches) continue;
+    Batch batch;
+    batch.batch_index = index++;
+    batch.arrival_time = at;
+    batch.documents = generator_.batch(n);
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+std::vector<Batch> SeasonalArrivalProcess::schedule_on(
+    cbs::sim::Simulation& sim, std::function<void(const Batch&)> on_batch) {
+  assert(on_batch);
+  std::vector<Batch> batches = generate_all();
+  for (const Batch& batch : batches) {
+    sim.schedule_at(batch.arrival_time,
+                    [batch, on_batch] { on_batch(batch); });
+  }
+  return batches;
+}
+
+}  // namespace cbs::workload

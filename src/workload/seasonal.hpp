@@ -1,0 +1,62 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "simcore/rng.hpp"
+#include "simcore/simulation.hpp"
+#include "workload/arrival.hpp"
+#include "workload/generator.hpp"
+
+namespace cbs::workload {
+
+/// Non-homogeneous batch arrivals — the paper's domain description:
+/// workloads "wildly fluctuate and are periodical (weekly, monthly, yearly
+/// etc.) closely following the seasonal consumption patterns of a consumer
+/// economy". Batches still land on the fixed grid (one slot per
+/// `batch_interval`), but the Poisson mean per batch is modulated by an
+/// intensity profile over the horizon.
+class SeasonalArrivalProcess {
+ public:
+  /// Intensity multiplier at absolute sim time t (>= 0; 0 = quiet period).
+  using IntensityFn = std::function<double(cbs::sim::SimTime)>;
+
+  struct Config {
+    cbs::sim::SimDuration batch_interval = 180.0;
+    /// Base Poisson mean per batch at intensity 1.
+    double base_jobs_per_batch = 15.0;
+    std::size_t num_batches = 8;
+    /// Slots whose sampled size is 0 are skipped (no empty batches).
+    bool skip_empty_batches = true;
+  };
+
+  /// A classic production-day shape: quiet overnight, a morning ramp, a
+  /// lunchtime dip, an afternoon peak, winding down after hours. `t` wraps
+  /// daily.
+  [[nodiscard]] static IntensityFn business_day();
+
+  /// A weekly pattern layered on the business day: weekends near-idle.
+  /// Day 0 is a Monday.
+  [[nodiscard]] static IntensityFn business_week();
+
+  SeasonalArrivalProcess(Config config, IntensityFn intensity,
+                         WorkloadGenerator& generator, cbs::sim::RngStream rng);
+
+  /// Draws the whole schedule (deterministic per seed). Batch indices are
+  /// dense even when quiet slots are skipped.
+  [[nodiscard]] std::vector<Batch> generate_all();
+
+  /// Schedules the arrivals on `sim`; returns the generated schedule.
+  std::vector<Batch> schedule_on(cbs::sim::Simulation& sim,
+                                 std::function<void(const Batch&)> on_batch);
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+  IntensityFn intensity_;
+  WorkloadGenerator& generator_;
+  cbs::sim::RngStream rng_;
+};
+
+}  // namespace cbs::workload

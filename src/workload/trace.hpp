@@ -1,0 +1,38 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/arrival.hpp"
+#include "workload/document.hpp"
+
+namespace cbs::workload {
+
+/// CSV persistence for generated workloads, so a scenario can be generated
+/// once, inspected, edited by hand and replayed exactly.
+///
+/// Format (header line + one row per document):
+///   batch,arrival_time,doc_id,type,size_mb,pages,num_images,avg_image_mb,
+///   resolution_dpi,color_fraction,text_ratio,coverage,output_size_mb
+namespace trace {
+
+/// Writes batches to a stream. Returns the number of document rows written.
+std::size_t write(std::ostream& out, const std::vector<Batch>& batches);
+
+/// Writes batches to a file. Throws std::runtime_error on I/O failure.
+std::size_t write_file(const std::string& path, const std::vector<Batch>& batches);
+
+/// Parses batches from a stream. Throws std::runtime_error on malformed
+/// input (wrong column count, non-numeric fields, unknown job type).
+[[nodiscard]] std::vector<Batch> read(std::istream& in);
+
+/// Parses batches from a file. Throws std::runtime_error on I/O failure.
+[[nodiscard]] std::vector<Batch> read_file(const std::string& path);
+
+/// Round-trip helper used by tests: batches -> csv -> batches.
+[[nodiscard]] std::vector<Batch> round_trip(const std::vector<Batch>& batches);
+
+}  // namespace trace
+
+}  // namespace cbs::workload

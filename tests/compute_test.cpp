@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "compute/cluster.hpp"
+#include "compute/job_store.hpp"
+#include "compute/mapreduce.hpp"
+#include "simcore/simulation.hpp"
+
+namespace {
+
+using namespace cbs::compute;
+using cbs::sim::Simulation;
+
+// ---- Cluster -------------------------------------------------------------
+
+TEST(ClusterTest, SingleMachineRunsFcfs) {
+  Simulation sim;
+  Cluster cluster(sim, "c", 1);
+  std::vector<std::pair<TaskId, double>> done;
+  for (int i = 0; i < 3; ++i) {
+    cluster.submit(10.0, 0, [&](const TaskRecord& rec) {
+      done.emplace_back(rec.task_id, rec.completed);
+    });
+  }
+  sim.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_DOUBLE_EQ(done[0].second, 10.0);
+  EXPECT_DOUBLE_EQ(done[1].second, 20.0);
+  EXPECT_DOUBLE_EQ(done[2].second, 30.0);
+  EXPECT_LT(done[0].first, done[1].first);  // FCFS order preserved
+}
+
+TEST(ClusterTest, ParallelMachines) {
+  Simulation sim;
+  Cluster cluster(sim, "c", 4);
+  int done = 0;
+  for (int i = 0; i < 4; ++i) {
+    cluster.submit(10.0, 0, [&](const TaskRecord&) { ++done; });
+  }
+  sim.run();
+  EXPECT_EQ(done, 4);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);  // all four ran concurrently
+}
+
+TEST(ClusterTest, SpeedScalesServiceTime) {
+  Simulation sim;
+  Cluster cluster(sim, "c", 1, 2.0);
+  double completed = -1.0;
+  cluster.submit(10.0, 0, [&](const TaskRecord& rec) { completed = rec.completed; });
+  sim.run();
+  EXPECT_DOUBLE_EQ(completed, 5.0);
+}
+
+TEST(ClusterTest, RecordsContainTimestamps) {
+  Simulation sim;
+  Cluster cluster(sim, "c", 1);
+  cluster.submit(5.0, 7, nullptr);
+  cluster.submit(5.0, 8, nullptr);
+  sim.run();
+  const auto& recs = cluster.completed();
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_DOUBLE_EQ(recs[1].enqueued, 0.0);
+  EXPECT_DOUBLE_EQ(recs[1].started, 5.0);
+  EXPECT_DOUBLE_EQ(recs[1].completed, 10.0);
+  EXPECT_EQ(recs[1].group_id, 8u);
+  EXPECT_EQ(recs[0].machine, 0u);
+}
+
+TEST(ClusterTest, BusyTimeAndUtilization) {
+  Simulation sim;
+  Cluster cluster(sim, "c", 2);
+  cluster.submit(10.0, 0, nullptr);
+  cluster.submit(6.0, 0, nullptr);
+  sim.run();
+  EXPECT_DOUBLE_EQ(cluster.machine_busy_time(0), 10.0);
+  EXPECT_DOUBLE_EQ(cluster.machine_busy_time(1), 6.0);
+  EXPECT_DOUBLE_EQ(cluster.total_busy_time(), 16.0);
+  EXPECT_DOUBLE_EQ(cluster.average_utilization(0.0, 10.0), 0.8);
+}
+
+TEST(ClusterTest, QueuedStandardSecondsTracksBacklog) {
+  Simulation sim;
+  Cluster cluster(sim, "c", 1);
+  cluster.submit(5.0, 0, nullptr);  // starts immediately
+  cluster.submit(7.0, 0, nullptr);  // queued
+  cluster.submit(3.0, 0, nullptr);  // queued
+  EXPECT_DOUBLE_EQ(cluster.queued_standard_seconds(), 10.0);
+  EXPECT_EQ(cluster.queued_tasks(), 2u);
+  EXPECT_EQ(cluster.running_tasks(), 1u);
+  sim.run();
+  EXPECT_DOUBLE_EQ(cluster.queued_standard_seconds(), 0.0);
+  EXPECT_TRUE(cluster.idle());
+}
+
+TEST(ClusterTest, IdleHookFiresWhenDrained) {
+  Simulation sim;
+  Cluster cluster(sim, "c", 2);
+  int idle_calls = 0;
+  cluster.set_idle_hook([&](std::size_t) { ++idle_calls; });
+  cluster.submit(5.0, 0, nullptr);
+  cluster.submit(5.0, 0, nullptr);
+  sim.run();
+  EXPECT_EQ(idle_calls, 2);  // each machine frees into an empty queue
+}
+
+TEST(ClusterTest, TaskDoneHookFiresPerTask) {
+  Simulation sim;
+  Cluster cluster(sim, "c", 1);
+  int hook_calls = 0;
+  cluster.set_task_done_hook([&] { ++hook_calls; });
+  for (int i = 0; i < 5; ++i) cluster.submit(1.0, 0, nullptr);
+  sim.run();
+  EXPECT_EQ(hook_calls, 5);
+}
+
+TEST(ClusterTest, CallbackCanSubmitMoreWork) {
+  Simulation sim;
+  Cluster cluster(sim, "c", 1);
+  double second_done = -1.0;
+  cluster.submit(2.0, 0, [&](const TaskRecord&) {
+    cluster.submit(3.0, 0, [&](const TaskRecord& rec) {
+      second_done = rec.completed;
+    });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(second_done, 5.0);
+}
+
+TEST(ClusterTest, ZeroServiceTaskCompletesInstantly) {
+  Simulation sim;
+  Cluster cluster(sim, "c", 1);
+  double completed = -1.0;
+  cluster.submit(0.0, 0, [&](const TaskRecord& rec) { completed = rec.completed; });
+  sim.run();
+  EXPECT_DOUBLE_EQ(completed, 0.0);
+}
+
+// ---- MapReduceRuntime ------------------------------------------------------
+
+TEST(MapReduceTest, SingleTaskJob) {
+  Simulation sim;
+  Cluster cluster(sim, "c", 2);
+  MapReduceRuntime mr(sim, cluster);
+  MapReduceRecord record;
+  mr.run({.job_id = 1, .total_map_seconds = 10.0, .num_map_tasks = 1,
+          .merge_seconds = 2.0},
+         [&](const MapReduceRecord& rec) { record = rec; });
+  sim.run();
+  EXPECT_DOUBLE_EQ(record.maps_done, 10.0);
+  EXPECT_DOUBLE_EQ(record.completed, 12.0);
+}
+
+TEST(MapReduceTest, MapsRunInParallel) {
+  Simulation sim;
+  Cluster cluster(sim, "c", 4);
+  MapReduceRuntime mr(sim, cluster);
+  MapReduceRecord record;
+  mr.run({.job_id = 1, .total_map_seconds = 40.0, .num_map_tasks = 4,
+          .merge_seconds = 0.0},
+         [&](const MapReduceRecord& rec) { record = rec; });
+  sim.run();
+  // 4 tasks of 10s over 4 machines -> 10s wall.
+  EXPECT_DOUBLE_EQ(record.completed, 10.0);
+}
+
+TEST(MapReduceTest, MergeWaitsForAllMaps) {
+  Simulation sim;
+  Cluster cluster(sim, "c", 1);
+  MapReduceRuntime mr(sim, cluster);
+  MapReduceRecord record;
+  mr.run({.job_id = 1, .total_map_seconds = 9.0, .num_map_tasks = 3,
+          .merge_seconds = 1.0},
+         [&](const MapReduceRecord& rec) { record = rec; });
+  sim.run();
+  EXPECT_DOUBLE_EQ(record.maps_done, 9.0);  // serial on one machine
+  EXPECT_DOUBLE_EQ(record.completed, 10.0);
+}
+
+TEST(MapReduceTest, ConcurrentJobsInterleave) {
+  Simulation sim;
+  Cluster cluster(sim, "c", 2);
+  MapReduceRuntime mr(sim, cluster);
+  std::vector<std::uint64_t> order;
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    mr.run({.job_id = id, .total_map_seconds = 4.0, .num_map_tasks = 2,
+            .merge_seconds = 0.0},
+           [&order](const MapReduceRecord& rec) { order.push_back(rec.job_id); });
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 3u);
+  // FCFS at task level preserves job completion order.
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 2u);
+  EXPECT_EQ(order[2], 3u);
+  EXPECT_EQ(mr.jobs_in_flight(), 0u);
+  EXPECT_EQ(mr.completed().size(), 3u);
+}
+
+// ---- JobStore --------------------------------------------------------------
+
+TEST(JobStoreTest, PutGetErase) {
+  Simulation sim;
+  JobStore store(sim);
+  store.put("a", 100.0);
+  EXPECT_TRUE(store.contains("a"));
+  EXPECT_DOUBLE_EQ(store.size_of("a"), 100.0);
+  EXPECT_DOUBLE_EQ(store.occupancy_bytes(), 100.0);
+  EXPECT_DOUBLE_EQ(store.erase("a"), 100.0);
+  EXPECT_FALSE(store.contains("a"));
+  EXPECT_DOUBLE_EQ(store.occupancy_bytes(), 0.0);
+}
+
+TEST(JobStoreTest, OverwriteReplacesSize) {
+  Simulation sim;
+  JobStore store(sim);
+  store.put("a", 100.0);
+  store.put("a", 40.0);
+  EXPECT_DOUBLE_EQ(store.occupancy_bytes(), 40.0);
+  EXPECT_EQ(store.object_count(), 1u);
+}
+
+TEST(JobStoreTest, PeakOccupancy) {
+  Simulation sim;
+  JobStore store(sim);
+  store.put("a", 100.0);
+  store.put("b", 50.0);
+  store.erase("a");
+  store.put("c", 20.0);
+  EXPECT_DOUBLE_EQ(store.peak_occupancy_bytes(), 150.0);
+  EXPECT_DOUBLE_EQ(store.occupancy_bytes(), 70.0);
+}
+
+TEST(JobStoreTest, EraseMissingIsNoOp) {
+  Simulation sim;
+  JobStore store(sim);
+  EXPECT_DOUBLE_EQ(store.erase("nothing"), 0.0);
+  EXPECT_DOUBLE_EQ(store.size_of("nothing"), 0.0);
+}
+
+TEST(JobStoreTest, HistoryRecordsTransitions) {
+  Simulation sim;
+  JobStore store(sim);
+  sim.schedule_at(5.0, [&] { store.put("a", 10.0); });
+  sim.schedule_at(9.0, [&] { store.erase("a"); });
+  sim.run();
+  const auto& h = store.occupancy_history();
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_DOUBLE_EQ(h.at(0).time, 5.0);
+  EXPECT_DOUBLE_EQ(h.at(0).value, 10.0);
+  EXPECT_DOUBLE_EQ(h.at(1).value, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "simcore/simulation.hpp"
+#include "sla/metrics.hpp"
+#include "workload/arrival.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace cbs::core;
+using cbs::sim::RngStream;
+using cbs::sim::Simulation;
+using cbs::sla::Placement;
+
+/// A tiny deterministic rig: flat fast pipe, no noise, no probing, oracle
+/// estimator, noise-free ground truth — controller behaviour is exact.
+struct Rig {
+  Simulation sim;
+  cbs::workload::GroundTruthModel truth{{.noise_sigma = 0.0}, RngStream(1)};
+
+  static ControllerConfig config(SchedulerKind kind) {
+    ControllerConfig cfg;  // flat links, no diurnal, defaults below
+    cfg.scheduler = kind;
+    cfg.estimator = EstimatorKind::kOracle;
+    cfg.probe_interval = 0.0;  // no probes: event counts stay minimal
+    cfg.uplink.base_rate = 1.0e6;
+    cfg.uplink.per_connection_cap = 1.0e6;
+    cfg.uplink.noise_sigma = 0.0;
+    cfg.uplink.setup_latency = 0.0;
+    cfg.downlink = cfg.uplink;
+    cfg.bandwidth_estimator.prior_rate = 1.0e6;
+    cfg.topology.ic_machines = 2;
+    cfg.topology.ec_machines = 1;
+    cfg.topology.ec_job_overhead_seconds = 0.0;
+    cfg.params.variability_threshold_mb = 1e9;  // no chunking unless asked
+    cfg.params.slack_safety_margin = 0.0;
+    return cfg;
+  }
+
+  cbs::workload::Batch batch(std::size_t index,
+                             const std::vector<double>& sizes_mb) {
+    cbs::workload::Batch b;
+    b.batch_index = index;
+    b.arrival_time = sim.now();
+    std::uint64_t id = next_doc_id_;
+    for (double s : sizes_mb) {
+      cbs::workload::Document d;
+      d.doc_id = id++;
+      d.features.size_mb = s;
+      d.features.pages = std::max(1, static_cast<int>(s));
+      d.output_size_mb = s;  // 1:1 output for easy arithmetic
+      b.documents.push_back(d);
+    }
+    next_doc_id_ = id;
+    return b;
+  }
+
+  std::uint64_t next_doc_id_ = 1;
+};
+
+TEST(ControllerTest, IcOnlyRunsEverythingInternally) {
+  Rig rig;
+  CloudBurstController ctl(rig.sim, Rig::config(SchedulerKind::kIcOnly),
+                           rig.truth, RngStream(2));
+  ctl.on_batch(rig.batch(0, {10.0, 20.0, 30.0}));
+  rig.sim.run();
+  EXPECT_EQ(ctl.outstanding_jobs(), 0u);
+  ASSERT_EQ(ctl.outcomes().size(), 3u);
+  for (const auto& o : ctl.outcomes()) {
+    EXPECT_EQ(o.placement, Placement::kInternal);
+    EXPECT_GT(o.completed, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(ctl.uplink().total_bytes_delivered(), 0.0);
+  EXPECT_EQ(cbs::sla::validate_outcomes(ctl.outcomes()), "");
+}
+
+TEST(ControllerTest, EcPipelineMovesBytesThroughStore) {
+  Rig rig;
+  // Greedy + a saturated IC forces bursting.
+  auto cfg = Rig::config(SchedulerKind::kGreedy);
+  cfg.topology.ic_machines = 1;
+  CloudBurstController ctl(rig.sim, cfg, rig.truth, RngStream(3));
+  // Many medium jobs: IC clogs, some of these must burst.
+  std::vector<double> sizes(8, 50.0);
+  ctl.on_batch(rig.batch(0, sizes));
+  rig.sim.run();
+  EXPECT_EQ(ctl.outstanding_jobs(), 0u);
+  std::size_t bursted = 0;
+  for (const auto& o : ctl.outcomes()) {
+    if (o.bursted()) ++bursted;
+  }
+  ASSERT_GT(bursted, 0u);
+  // Uplink moved exactly the bursted inputs; downlink the outputs (1:1).
+  EXPECT_NEAR(ctl.uplink().total_bytes_delivered(),
+              static_cast<double>(bursted) * 50.0e6, 1.0);
+  EXPECT_NEAR(ctl.downlink().total_bytes_delivered(),
+              static_cast<double>(bursted) * 50.0e6, 1.0);
+  // The store drained completely.
+  EXPECT_DOUBLE_EQ(ctl.store().occupancy_bytes(), 0.0);
+  EXPECT_GT(ctl.store().peak_occupancy_bytes(), 0.0);
+}
+
+TEST(ControllerTest, SequenceIdsSpanBatches) {
+  Rig rig;
+  CloudBurstController ctl(rig.sim, Rig::config(SchedulerKind::kIcOnly),
+                           rig.truth, RngStream(4));
+  ctl.on_batch(rig.batch(0, {10.0, 10.0}));
+  rig.sim.run_until(rig.sim.now() + 1.0);
+  ctl.on_batch(rig.batch(1, {10.0}));
+  rig.sim.run();
+  ASSERT_EQ(ctl.outcomes().size(), 3u);
+  EXPECT_EQ(cbs::sla::validate_outcomes(ctl.outcomes()), "");
+  std::size_t batch1_jobs = 0;
+  for (const auto& o : ctl.outcomes()) {
+    if (o.batch_index == 1) {
+      ++batch1_jobs;
+      EXPECT_EQ(o.seq_id, 3u);
+    }
+  }
+  EXPECT_EQ(batch1_jobs, 1u);
+}
+
+TEST(ControllerTest, QrsmLearnsDuringRun) {
+  Rig rig;
+  auto cfg = Rig::config(SchedulerKind::kIcOnly);
+  cfg.estimator = EstimatorKind::kQrsm;
+  CloudBurstController ctl(rig.sim, cfg, rig.truth, RngStream(5));
+  // Feed enough jobs for the online fit to trigger (needs > quadratic dim).
+  cbs::workload::WorkloadGenerator gen({}, rig.truth, RngStream(6));
+  for (std::size_t b = 0; b < 5; ++b) {
+    cbs::workload::Batch batch;
+    batch.batch_index = b;
+    batch.arrival_time = rig.sim.now();
+    batch.documents = gen.batch(16);
+    ctl.on_batch(batch);
+    rig.sim.run();
+  }
+  const auto* qrsm = dynamic_cast<const cbs::models::QrsmEstimator*>(
+      &ctl.service_estimator());
+  ASSERT_NE(qrsm, nullptr);
+  EXPECT_TRUE(qrsm->model().is_fitted());
+  EXPECT_GT(qrsm->model().last_fit()->r_squared, 0.99);  // noiseless labels
+}
+
+TEST(ControllerTest, PretrainSeedsTheModel) {
+  Rig rig;
+  auto cfg = Rig::config(SchedulerKind::kIcOnly);
+  cfg.estimator = EstimatorKind::kQrsm;
+  CloudBurstController ctl(rig.sim, cfg, rig.truth, RngStream(7));
+  cbs::workload::WorkloadGenerator gen({}, rig.truth, RngStream(8));
+  const auto docs = gen.batch(120);
+  std::vector<double> runtimes;
+  for (const auto& d : docs) {
+    runtimes.push_back(rig.truth.expected_seconds(d.features));
+  }
+  ctl.pretrain(docs, runtimes);
+  const auto* qrsm = dynamic_cast<const cbs::models::QrsmEstimator*>(
+      &ctl.service_estimator());
+  ASSERT_NE(qrsm, nullptr);
+  EXPECT_TRUE(qrsm->model().is_fitted());
+}
+
+TEST(ControllerTest, ProbingStopsWhenRunEnds) {
+  Rig rig;
+  auto cfg = Rig::config(SchedulerKind::kIcOnly);
+  cfg.probe_interval = 30.0;
+  CloudBurstController ctl(rig.sim, cfg, rig.truth, RngStream(9));
+  ctl.on_batch(rig.batch(0, {10.0}));
+  rig.sim.run();  // must terminate: probes stop once outstanding == 0
+  EXPECT_EQ(ctl.outstanding_jobs(), 0u);
+  EXPECT_LT(rig.sim.now(), 200.0);
+}
+
+TEST(ControllerTest, ProbesFeedTheEstimator) {
+  Rig rig;
+  auto cfg = Rig::config(SchedulerKind::kIcOnly);
+  cfg.probe_interval = 5.0;
+  CloudBurstController ctl(rig.sim, cfg, rig.truth, RngStream(10));
+  ctl.on_batch(rig.batch(0, {200.0, 200.0}));  // long enough for 2+ probes
+  rig.sim.run();
+  EXPECT_GT(ctl.uplink_estimator().observation_count(), 2u);
+  EXPECT_GT(ctl.downlink_estimator().observation_count(), 2u);
+}
+
+TEST(ControllerTest, ReschedulerPushesOutWhenUploadIdles) {
+  Rig rig;
+  auto cfg = Rig::config(SchedulerKind::kOrderPreserving);
+  cfg.enable_rescheduler = true;
+  cfg.topology.ic_machines = 1;
+  // The pipe is fast but the scheduler's prior says it is slow: Op bursts
+  // little at batch time, then learns the real rate from its first uploads
+  // — at which point idle-pipe push-outs become attractive (the adaptive
+  // behaviour §IV.D describes).
+  cfg.uplink.base_rate = 5.0e6;
+  cfg.uplink.per_connection_cap = 5.0e6;
+  cfg.downlink = cfg.uplink;
+  cfg.bandwidth_estimator.prior_rate = 0.4e6;
+  cfg.topology.ec_machines = 2;
+  CloudBurstController ctl(rig.sim, cfg, rig.truth, RngStream(11));
+  // One huge backlog: Op bursts some; when uploads drain and IC still has
+  // waiting jobs, push-outs should fire.
+  std::vector<double> sizes(24, 60.0);
+  ctl.on_batch(rig.batch(0, sizes));
+  rig.sim.run();
+  EXPECT_EQ(ctl.outstanding_jobs(), 0u);
+  EXPECT_EQ(cbs::sla::validate_outcomes(ctl.outcomes()), "");
+  EXPECT_GT(ctl.push_outs() + ctl.pull_backs(), 0u);
+}
+
+TEST(ControllerTest, ChunkedJobsGetFreshSeqAndDocIds) {
+  Rig rig;
+  auto cfg = Rig::config(SchedulerKind::kOrderPreserving);
+  cfg.params.variability_threshold_mb = 30.0;
+  cfg.params.chunker.target_size_mb = 50.0;
+  CloudBurstController ctl(rig.sim, cfg, rig.truth, RngStream(12));
+  ctl.on_batch(rig.batch(0, {200.0, 5.0, 5.0}));
+  rig.sim.run();
+  EXPECT_GT(ctl.outcomes().size(), 3u);
+  EXPECT_EQ(cbs::sla::validate_outcomes(ctl.outcomes()), "");
+  // Chunk doc ids live in the dedicated high range.
+  bool saw_chunk_id = false;
+  for (const auto& o : ctl.outcomes()) {
+    if (o.doc_id >= (1ULL << 32)) saw_chunk_id = true;
+  }
+  EXPECT_TRUE(saw_chunk_id);
+}
+
+TEST(ControllerTest, StageLogRecordsThePipeline) {
+  Rig rig;
+  auto cfg = Rig::config(SchedulerKind::kGreedy);
+  cfg.record_stage_log = true;
+  cfg.topology.ic_machines = 1;  // force some bursting
+  CloudBurstController ctl(rig.sim, cfg, rig.truth, RngStream(21));
+  ctl.on_batch(rig.batch(0, {50.0, 50.0, 50.0, 50.0, 50.0, 50.0}));
+  rig.sim.run();
+
+  // Each job's stages are in causal order and end at kCompleted; bursted
+  // jobs pass through the EC pipeline states.
+  std::map<std::uint64_t, std::vector<CloudBurstController::StageEvent>> per_job;
+  for (const auto& e : ctl.stage_log()) per_job[e.seq_id].push_back(e);
+  ASSERT_EQ(per_job.size(), ctl.outcomes().size());
+  for (const auto& o : ctl.outcomes()) {
+    const auto& events = per_job.at(o.seq_id);
+    ASSERT_GE(events.size(), 2u);
+    for (std::size_t i = 1; i < events.size(); ++i) {
+      EXPECT_GE(events[i].time, events[i - 1].time);
+    }
+    EXPECT_EQ(events.back().state, JobState::kCompleted);
+    if (o.bursted()) {
+      EXPECT_EQ(events.front().state, JobState::kUploadQueued);
+      bool saw_download = false;
+      for (const auto& e : events) {
+        if (e.state == JobState::kDownloading) saw_download = true;
+      }
+      EXPECT_TRUE(saw_download);
+    } else {
+      EXPECT_EQ(events.front().state, JobState::kIcWaiting);
+    }
+  }
+}
+
+TEST(ControllerTest, StageLogOffByDefault) {
+  Rig rig;
+  CloudBurstController ctl(rig.sim, Rig::config(SchedulerKind::kIcOnly),
+                           rig.truth, RngStream(22));
+  ctl.on_batch(rig.batch(0, {10.0}));
+  rig.sim.run();
+  EXPECT_TRUE(ctl.stage_log().empty());
+}
+
+TEST(ControllerTest, UtilizationNeverExceedsOne) {
+  Rig rig;
+  auto cfg = Rig::config(SchedulerKind::kGreedy);
+  CloudBurstController ctl(rig.sim, cfg, rig.truth, RngStream(13));
+  ctl.on_batch(rig.batch(0, {80.0, 120.0, 40.0, 10.0, 250.0}));
+  rig.sim.run();
+  const double makespan = cbs::sla::makespan(ctl.outcomes());
+  const double ic_util = cbs::sla::set_utilization(
+      ctl.ic_cluster().total_busy_time(), ctl.ic_cluster().machine_count(),
+      makespan);
+  const double ec_util = cbs::sla::set_utilization(
+      ctl.ec_cluster().total_busy_time(), ctl.ec_cluster().machine_count(),
+      makespan);
+  EXPECT_GE(ic_util, 0.0);
+  EXPECT_LE(ic_util, 1.0 + 1e-9);
+  EXPECT_GE(ec_util, 0.0);
+  EXPECT_LE(ec_util, 1.0 + 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,577 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/bandwidth_split.hpp"
+#include "core/belief_state.hpp"
+#include "core/config.hpp"
+#include "core/greedy_scheduler.hpp"
+#include "core/order_preserving_scheduler.hpp"
+#include "core/scheduler.hpp"
+#include "core/upload_queues.hpp"
+#include "models/estimator.hpp"
+#include "net/bandwidth_estimator.hpp"
+#include "net/link.hpp"
+#include "net/thread_tuner.hpp"
+#include "simcore/simulation.hpp"
+#include "workload/ground_truth.hpp"
+
+namespace {
+
+using namespace cbs::core;
+using cbs::sim::RngStream;
+using cbs::sim::Simulation;
+using cbs::sla::Placement;
+using cbs::workload::Document;
+
+/// Estimator with a fixed per-MB rate — makes belief arithmetic exact.
+class FixedRateEstimator final : public cbs::models::ProcessingTimeEstimator {
+ public:
+  explicit FixedRateEstimator(double seconds_per_mb)
+      : seconds_per_mb_(seconds_per_mb) {}
+  [[nodiscard]] double estimate_seconds(const Document& doc) const override {
+    return doc.features.size_mb * seconds_per_mb_;
+  }
+
+ private:
+  double seconds_per_mb_;
+};
+
+Document make_doc(std::uint64_t id, double size_mb, double output_mb = 0.0) {
+  Document d;
+  d.doc_id = id;
+  d.features.size_mb = size_mb;
+  d.features.pages = static_cast<int>(size_mb);
+  d.output_size_mb = output_mb > 0.0 ? output_mb : size_mb;
+  return d;
+}
+
+struct BeliefFixture {
+  FixedRateEstimator estimator{1.0};  // 1 s per MB
+  cbs::net::BandwidthEstimator uplink{
+      {.slots_per_day = 1, .alpha = 0.3, .prior_rate = 1.0e6}};
+  cbs::net::BandwidthEstimator downlink{
+      {.slots_per_day = 1, .alpha = 0.3, .prior_rate = 1.0e6}};
+  BeliefState belief{estimator, uplink, downlink,
+                     /*ic*/ 4,  1.0, /*ec*/ 2, 1.0,
+                     /*par*/ 1, 1,  /*overhead*/ 0.0};
+};
+
+// ---- BeliefState -----------------------------------------------------------
+
+TEST(BeliefStateTest, FtIcUsesBacklogAndJobRate) {
+  BeliefFixture fx;
+  // Empty system: 100 MB doc -> 100 s on one machine.
+  EXPECT_DOUBLE_EQ(fx.belief.ft_ic(make_doc(1, 100.0), 50.0), 150.0);
+  // 400 s of backlog drains at rate 4.
+  fx.belief.commit_ic(1, 400.0);
+  EXPECT_DOUBLE_EQ(fx.belief.ft_ic(make_doc(2, 100.0), 50.0),
+                   50.0 + 100.0 + 100.0);
+}
+
+TEST(BeliefStateTest, FtEcBreakdown) {
+  BeliefFixture fx;
+  // 100 MB in, 100 MB out at 1 MB/s both ways; service 100 s on 1 EC slot.
+  const EcEstimate e = fx.belief.ft_ec(make_doc(1, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(e.upload_seconds, 100.0);
+  EXPECT_DOUBLE_EQ(e.ec_wait_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(e.processing_seconds, 100.0);
+  EXPECT_DOUBLE_EQ(e.download_seconds, 100.0);
+  EXPECT_DOUBLE_EQ(e.finish, 300.0);
+}
+
+TEST(BeliefStateTest, FtEcSeesUploadBacklog) {
+  BeliefFixture fx;
+  const EcEstimate before = fx.belief.ft_ec(make_doc(1, 100.0), 0.0);
+  fx.belief.commit_ec(10, make_doc(10, 50.0), before);
+  // 50 MB queued ahead -> upload takes 150 s now.
+  const EcEstimate after = fx.belief.ft_ec(make_doc(2, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(after.upload_seconds, 150.0);
+}
+
+TEST(BeliefStateTest, EcBacklogDrainsDuringUpload) {
+  BeliefFixture fx;
+  fx.belief.commit_ec(10, make_doc(10, 100.0),
+                      fx.belief.ft_ec(make_doc(10, 100.0), 0.0));
+  // 100 s of believed EC work; during our 200 s upload (100 queued + 100
+  // own) the EC (capacity 2) fully drains it -> no wait.
+  const EcEstimate e = fx.belief.ft_ec(make_doc(2, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(e.ec_wait_seconds, 0.0);
+}
+
+TEST(BeliefStateTest, SlackIsMaxOfIcDrainAndEcFinishes) {
+  BeliefFixture fx;
+  EXPECT_DOUBLE_EQ(fx.belief.slack(100.0), 100.0);  // empty: fallback now
+  fx.belief.commit_ic(1, 400.0);                    // drains at t+100
+  EXPECT_DOUBLE_EQ(fx.belief.slack(100.0), 200.0);
+  EcEstimate far;
+  far.finish = 900.0;
+  fx.belief.commit_ec(2, make_doc(2, 10.0), far);
+  EXPECT_DOUBLE_EQ(fx.belief.slack(100.0), 900.0);
+}
+
+TEST(BeliefStateTest, CompletionsReduceBacklog) {
+  BeliefFixture fx;
+  fx.belief.commit_ic(1, 100.0);
+  fx.belief.commit_ic(2, 60.0);
+  EXPECT_DOUBLE_EQ(fx.belief.ic_backlog_standard_seconds(), 160.0);
+  fx.belief.on_ic_complete(1);
+  EXPECT_DOUBLE_EQ(fx.belief.ic_backlog_standard_seconds(), 60.0);
+  EXPECT_EQ(fx.belief.outstanding_ic_jobs(), 1u);
+}
+
+TEST(BeliefStateTest, UploadCompletionShrinksByteBacklog) {
+  BeliefFixture fx;
+  const Document d = make_doc(1, 30.0);
+  fx.belief.commit_ec(1, d, fx.belief.ft_ec(d, 0.0));
+  EXPECT_DOUBLE_EQ(fx.belief.upload_backlog_bytes(), 30.0e6);
+  fx.belief.on_upload_complete(30.0e6);
+  EXPECT_DOUBLE_EQ(fx.belief.upload_backlog_bytes(), 0.0);
+}
+
+TEST(BeliefStateTest, RetractUndoesCommit) {
+  BeliefFixture fx;
+  fx.belief.commit_ic(1, 100.0);
+  fx.belief.retract_ic(1);
+  EXPECT_DOUBLE_EQ(fx.belief.ic_backlog_standard_seconds(), 0.0);
+  const Document d = make_doc(2, 40.0);
+  fx.belief.commit_ec(2, d, fx.belief.ft_ec(d, 0.0));
+  fx.belief.retract_ec(2, d.input_bytes());
+  EXPECT_EQ(fx.belief.outstanding_ec_jobs(), 0u);
+  EXPECT_DOUBLE_EQ(fx.belief.upload_backlog_bytes(), 0.0);
+}
+
+TEST(BeliefStateTest, TransientViewUsesLastObservation) {
+  BeliefFixture fx;
+  fx.uplink.observe(0.0, 2.0e6);  // EWMA != last after a second sample
+  fx.uplink.observe(1.0, 0.5e6);
+  fx.belief.set_bandwidth_view(BandwidthView::kTransient);
+  const EcEstimate e = fx.belief.ft_ec_job_level(make_doc(1, 100.0), 0.0, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(e.upload_seconds, 100.0e6 / 0.5e6);
+}
+
+TEST(BeliefStateTest, JobLevelIgnoresCommittedUploadBacklog) {
+  BeliefFixture fx;
+  const Document queued = make_doc(10, 200.0);
+  fx.belief.commit_ec(10, queued, fx.belief.ft_ec(queued, 0.0));
+  const EcEstimate e =
+      fx.belief.ft_ec_job_level(make_doc(1, 100.0), 0.0, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(e.upload_seconds, 100.0);  // blind to the 200 MB ahead
+  const EcEstimate full = fx.belief.ft_ec(make_doc(1, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(full.upload_seconds, 300.0);
+}
+
+TEST(BeliefStateTest, EcOverheadEntersProcessing) {
+  FixedRateEstimator est(1.0);
+  cbs::net::BandwidthEstimator up{{.slots_per_day = 1, .alpha = 0.3, .prior_rate = 1.0e6}};
+  cbs::net::BandwidthEstimator down = up;
+  BeliefState belief(est, up, down, 4, 1.0, 2, 1.0, 1, 1, 45.0);
+  const EcEstimate e = belief.ft_ec(make_doc(1, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(e.processing_seconds, 145.0);
+}
+
+// ---- scheduler context machinery ----------------------------------------
+
+struct SchedulerFixture {
+  BeliefFixture fx;
+  cbs::workload::GroundTruthModel truth{{.noise_sigma = 0.0}, RngStream(1)};
+  SchedulerParams params;
+  std::uint64_t next_seq = 1;
+  std::uint64_t next_doc_id = 1000;
+
+  Scheduler::Context context(double now = 0.0) {
+    return Scheduler::Context{
+        .now = now,
+        .belief = fx.belief,
+        .params = params,
+        .truth = truth,
+        .next_seq = &next_seq,
+        .next_doc_id = &next_doc_id,
+        .ic_machines = 4,
+        .upload_class_backlog_bytes = {0.0, 0.0, 0.0},
+        .download_backlog_bytes = 0.0,
+    };
+  }
+};
+
+TEST(IcOnlySchedulerTest, PlacesEverythingInternally) {
+  SchedulerFixture f;
+  IcOnlyScheduler scheduler;
+  auto ctx = f.context();
+  const auto decisions =
+      scheduler.schedule_batch({make_doc(1, 10.0), make_doc(2, 250.0)}, ctx);
+  ASSERT_EQ(decisions.size(), 2u);
+  for (const auto& d : decisions) {
+    EXPECT_EQ(d.placement, Placement::kInternal);
+  }
+  EXPECT_EQ(decisions[0].seq_id, 1u);
+  EXPECT_EQ(decisions[1].seq_id, 2u);
+  EXPECT_EQ(f.fx.belief.outstanding_ic_jobs(), 2u);
+}
+
+TEST(GreedySchedulerTest, PicksEarlierFinish) {
+  SchedulerFixture f;
+  GreedyScheduler scheduler;
+  // Preload the IC so ft_ic is slow: 4000 std-s over 4 machines = 1000 s.
+  f.fx.belief.commit_ic(999, 4000.0);
+  auto ctx = f.context();
+  // 100 MB job: ft_ic = 1000 + 100 = 1100 vs ft_ec = 100+100+100 = 300.
+  const auto decisions = scheduler.schedule_batch({make_doc(1, 100.0)}, ctx);
+  EXPECT_EQ(decisions[0].placement, Placement::kExternal);
+}
+
+TEST(GreedySchedulerTest, KeepsJobWhenIcWins) {
+  SchedulerFixture f;
+  GreedyScheduler scheduler;
+  auto ctx = f.context();
+  // Empty system: ft_ic = 100 < ft_ec = 300.
+  const auto decisions = scheduler.schedule_batch({make_doc(1, 100.0)}, ctx);
+  EXPECT_EQ(decisions[0].placement, Placement::kInternal);
+}
+
+TEST(GreedySchedulerTest, SeesLiveUploadQueueButTransientBandwidth) {
+  SchedulerFixture f;
+  GreedyScheduler scheduler;
+  f.fx.belief.commit_ic(999, 40000.0);  // force EC for everything
+  auto ctx = f.context();
+  const auto decisions = scheduler.schedule_batch(
+      {make_doc(1, 100.0), make_doc(2, 100.0), make_doc(3, 100.0)}, ctx);
+  // Each burst enqueues real bytes, so the next decision's upload estimate
+  // includes them (100, 200, 300 s at 1 MB/s).
+  ASSERT_EQ(decisions.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(decisions[i].placement, Placement::kExternal);
+    EXPECT_DOUBLE_EQ(decisions[i].ec_estimate.upload_seconds,
+                     100.0 * static_cast<double>(i + 1));
+  }
+}
+
+TEST(OrderPreservingTest, BurstsOnlyWithinSlack) {
+  SchedulerFixture f;
+  f.params.variability_threshold_mb = 1e9;  // disable chunking here
+  f.params.slack_safety_margin = 0.0;
+  OrderPreservingScheduler scheduler;
+  auto ctx = f.context();
+  // First job of an empty system: slack = now -> can never burst.
+  const auto d1 = scheduler.schedule_batch({make_doc(1, 50.0)}, ctx);
+  EXPECT_EQ(d1[0].placement, Placement::kInternal);
+  // Preload a big IC backlog: slack = 40000/4 = 10000 s; a 100 MB round
+  // trip (300 s) easily fits.
+  f.fx.belief.commit_ic(999, 40000.0);
+  auto ctx2 = f.context();
+  const auto d2 = scheduler.schedule_batch({make_doc(2, 100.0)}, ctx2);
+  EXPECT_EQ(d2[0].placement, Placement::kExternal);
+}
+
+TEST(OrderPreservingTest, SafetyMarginTightensAdmission) {
+  SchedulerFixture f;
+  f.params.variability_threshold_mb = 1e9;
+  OrderPreservingScheduler scheduler;
+  // Slack = 320/4 = 80 s; round trip of a 25 MB job = 75 s.
+  f.fx.belief.commit_ic(999, 320.0);
+  f.params.slack_safety_margin = 0.0;
+  {
+    auto ctx = f.context();
+    const auto d = scheduler.schedule_batch({make_doc(1, 25.0)}, ctx);
+    EXPECT_EQ(d[0].placement, Placement::kExternal);
+  }
+  f.params.slack_safety_margin = 20.0;  // 75 + 20 > 80 -> rejected
+  {
+    auto ctx = f.context();
+    const auto d = scheduler.schedule_batch({make_doc(2, 25.0)}, ctx);
+    EXPECT_EQ(d[0].placement, Placement::kInternal);
+  }
+}
+
+TEST(OrderPreservingTest, ChunksHighVarianceWindows) {
+  SchedulerFixture f;
+  f.params.variability_window = 3;
+  f.params.variability_threshold_mb = 50.0;
+  f.params.chunker.target_size_mb = 60.0;
+  OrderPreservingScheduler scheduler;
+  auto ctx = f.context();
+  // Sizes 290, 5, 5: sigma >> 50 -> the 290 MB head job gets chunked.
+  const auto decisions = scheduler.schedule_batch(
+      {make_doc(1, 290.0), make_doc(2, 5.0), make_doc(3, 5.0)}, ctx);
+  EXPECT_GT(decisions.size(), 3u);
+  EXPECT_TRUE(decisions[0].doc.is_chunk());
+  EXPECT_EQ(decisions[0].doc.parent_id, 1u);
+  // Seq ids are contiguous from 1.
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    EXPECT_EQ(decisions[i].seq_id, i + 1);
+  }
+}
+
+TEST(OrderPreservingTest, LowVarianceLeavesJobsIntact) {
+  SchedulerFixture f;
+  f.params.variability_threshold_mb = 50.0;
+  OrderPreservingScheduler scheduler;
+  auto ctx = f.context();
+  const auto decisions = scheduler.schedule_batch(
+      {make_doc(1, 280.0), make_doc(2, 290.0), make_doc(3, 285.0)}, ctx);
+  EXPECT_EQ(decisions.size(), 3u);
+  for (const auto& d : decisions) EXPECT_FALSE(d.doc.is_chunk());
+}
+
+// ---- Algorithm 3 (size-interval bounds) -----------------------------------
+
+TEST(BandwidthSplitTest, BoundsPartitionEligibleSizes) {
+  SchedulerFixture f;
+  f.fx.belief.commit_ic(999, 40000.0);  // everything is burst-eligible
+  const std::vector<Document> batch = {
+      make_doc(1, 10.0), make_doc(2, 20.0),  make_doc(3, 40.0),
+      make_doc(4, 80.0), make_doc(5, 160.0), make_doc(6, 300.0)};
+  const auto bounds = compute_size_interval_bounds(
+      batch, f.fx.belief, 0.0, 4, {0.0, 0.0, 0.0});
+  ASSERT_TRUE(bounds.has_value());
+  EXPECT_GT(bounds->small_upper_mb, 0.0);
+  EXPECT_GE(bounds->medium_upper_mb, bounds->small_upper_mb);
+  EXPECT_LT(bounds->medium_upper_mb, 300.0);
+  EXPECT_EQ(bounds->class_of(1.0), 0);
+  EXPECT_EQ(bounds->class_of(300.0), 2);
+}
+
+TEST(BandwidthSplitTest, NoEligibleJobsMeansNoBounds) {
+  SchedulerFixture f;  // empty IC: iload = 0 -> nothing passes line 6
+  const std::vector<Document> batch = {make_doc(1, 100.0)};
+  const auto bounds = compute_size_interval_bounds(
+      batch, f.fx.belief, 0.0, 4, {0.0, 0.0, 0.0});
+  EXPECT_FALSE(bounds.has_value());
+}
+
+TEST(BandwidthSplitTest, BackloggedQueueGetsFewerJobs) {
+  SchedulerFixture f;
+  f.fx.belief.commit_ic(999, 40000.0);
+  std::vector<Document> batch;
+  for (int i = 1; i <= 12; ++i) {
+    batch.push_back(make_doc(static_cast<std::uint64_t>(i), 25.0 * i));
+  }
+  // Small queue heavily backlogged: its left-over capacity shrinks, so the
+  // small bound must drop relative to the balanced case.
+  const auto balanced = compute_size_interval_bounds(
+      batch, f.fx.belief, 0.0, 4, {0.0, 0.0, 0.0});
+  const auto skewed = compute_size_interval_bounds(
+      batch, f.fx.belief, 0.0, 4, {1.0e9, 0.0, 0.0});
+  ASSERT_TRUE(balanced.has_value());
+  ASSERT_TRUE(skewed.has_value());
+  EXPECT_LT(skewed->small_upper_mb, balanced->small_upper_mb);
+}
+
+TEST(BandwidthSplitTest, SchedulerAssignsUploadClasses) {
+  SchedulerFixture f;
+  f.params.variability_threshold_mb = 1e9;
+  f.fx.belief.commit_ic(999, 40000.0);
+  BandwidthSplitScheduler scheduler;
+  auto ctx = f.context();
+  std::vector<Document> batch;
+  for (int i = 1; i <= 9; ++i) {
+    batch.push_back(make_doc(static_cast<std::uint64_t>(i), 30.0 * i));
+  }
+  const auto decisions = scheduler.schedule_batch(batch, ctx);
+  bool saw_small = false;
+  bool saw_large = false;
+  for (const auto& d : decisions) {
+    if (d.placement != Placement::kExternal) continue;
+    if (d.upload_class == 0) saw_small = true;
+    if (d.upload_class == 2) saw_large = true;
+  }
+  EXPECT_TRUE(saw_small);
+  EXPECT_TRUE(saw_large);
+}
+
+// ---- TransferQueueSet ---------------------------------------------------
+
+struct QueueFixture {
+  Simulation sim;
+  cbs::net::LinkConfig link_cfg = [] {
+    cbs::net::LinkConfig cfg;
+    cfg.base_rate = 1.0e6;
+    cfg.per_connection_cap = 1.0e6;
+    cfg.noise_sigma = 0.0;
+    cfg.setup_latency = 0.0;
+    return cfg;
+  }();
+  cbs::net::Link link{sim, link_cfg, RngStream(1)};
+  cbs::net::ThreadTuner tuner{{.slots_per_day = 1, .initial_threads = 1}};
+};
+
+TEST(TransferQueueSetTest, SingleClassIsFifo) {
+  QueueFixture f;
+  TransferQueueSet queues(f.sim, f.link, f.tuner, 1);
+  std::vector<std::uint64_t> done;
+  queues.set_on_complete(
+      [&](std::uint64_t tag, int, const cbs::net::TransferRecord&) {
+        done.push_back(tag);
+      });
+  for (std::uint64_t tag = 1; tag <= 3; ++tag) queues.enqueue(tag, 1.0e6, 0);
+  f.sim.run();
+  EXPECT_EQ(done, (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_TRUE(queues.idle());
+}
+
+TEST(TransferQueueSetTest, SmallJobRidesHigherClassSlot) {
+  QueueFixture f;
+  TransferQueueSet queues(f.sim, f.link, f.tuner, 3);
+  std::vector<std::uint64_t> done;
+  queues.set_on_complete(
+      [&](std::uint64_t tag, int, const cbs::net::TransferRecord&) {
+        done.push_back(tag);
+      });
+  // Two small (class 0) jobs and nothing in classes 1/2: the second small
+  // job must ride a higher slot and run concurrently.
+  queues.enqueue(1, 2.0e6, 0);
+  queues.enqueue(2, 2.0e6, 0);
+  f.sim.run();
+  // Concurrent at 0.5 MB/s each -> both complete at t=4; serial would be
+  // 2 then 4.
+  ASSERT_EQ(done.size(), 2u);
+  const auto& recs = f.link.completed();
+  EXPECT_DOUBLE_EQ(recs[0].completed, 4.0);
+  EXPECT_DOUBLE_EQ(recs[1].completed, 4.0);
+}
+
+TEST(TransferQueueSetTest, LargeJobNeverRidesSmallSlot) {
+  QueueFixture f;
+  TransferQueueSet queues(f.sim, f.link, f.tuner, 2);
+  int active_large = 0;
+  int max_active_large = 0;
+  queues.set_on_complete(
+      [&](std::uint64_t, int klass, const cbs::net::TransferRecord&) {
+        if (klass == 1) --active_large;
+      });
+  // Three large-class jobs: only the class-1 slot may carry them, so they
+  // serialize even though the class-0 slot idles.
+  for (std::uint64_t tag = 1; tag <= 3; ++tag) queues.enqueue(tag, 1.0e6, 1);
+  active_large = static_cast<int>(queues.active_items());
+  max_active_large = active_large;
+  f.sim.run();
+  EXPECT_EQ(max_active_large, 1);
+  EXPECT_DOUBLE_EQ(f.link.completed().back().completed, 3.0);  // serial at 1 MB/s
+}
+
+TEST(TransferQueueSetTest, CancelOnlyWorksWhileQueued) {
+  QueueFixture f;
+  TransferQueueSet queues(f.sim, f.link, f.tuner, 1);
+  int completions = 0;
+  queues.set_on_complete(
+      [&](std::uint64_t, int, const cbs::net::TransferRecord&) {
+        ++completions;
+      });
+  queues.enqueue(1, 1.0e6, 0);  // starts immediately
+  queues.enqueue(2, 1.0e6, 0);  // queued
+  EXPECT_FALSE(queues.try_cancel(1));  // already started
+  EXPECT_TRUE(queues.try_cancel(2));
+  EXPECT_FALSE(queues.try_cancel(2));  // gone
+  f.sim.run();
+  EXPECT_EQ(completions, 1);
+}
+
+TEST(TransferQueueSetTest, BacklogAccountsQueuedAndActive) {
+  QueueFixture f;
+  TransferQueueSet queues(f.sim, f.link, f.tuner, 3);
+  queues.enqueue(1, 5.0e6, 0);
+  queues.enqueue(2, 3.0e6, 2);
+  queues.enqueue(3, 2.0e6, 2);
+  const auto backlog = queues.backlog_bytes_per_class();
+  EXPECT_DOUBLE_EQ(backlog[0], 5.0e6);
+  EXPECT_DOUBLE_EQ(backlog[2], 5.0e6);
+  EXPECT_DOUBLE_EQ(queues.total_backlog_bytes(), 10.0e6);
+  f.sim.run();
+  EXPECT_DOUBLE_EQ(queues.total_backlog_bytes(), 0.0);
+}
+
+TEST(TransferQueueSetTest, QueuedTagsListsWaitingOnly) {
+  QueueFixture f;
+  TransferQueueSet queues(f.sim, f.link, f.tuner, 1);
+  queues.enqueue(1, 1.0e6, 0);
+  queues.enqueue(2, 1.0e6, 0);
+  queues.enqueue(3, 1.0e6, 0);
+  const auto tags = queues.queued_tags();
+  EXPECT_EQ(tags, (std::vector<std::uint64_t>{2, 3}));
+}
+
+TEST(BandwidthSplitTest, ClassBoundariesAreInclusive) {
+  const SizeIntervalBounds bounds{40.0, 120.0};
+  EXPECT_EQ(bounds.class_of(40.0), 0);
+  EXPECT_EQ(bounds.class_of(40.0001), 1);
+  EXPECT_EQ(bounds.class_of(120.0), 1);
+  EXPECT_EQ(bounds.class_of(120.0001), 2);
+}
+
+TEST(RandomSchedulerTest, BurstsAtConfiguredProbability) {
+  SchedulerFixture f;
+  f.params.random_burst_probability = 0.3;
+  RandomScheduler scheduler;
+  std::vector<cbs::workload::Document> batch;
+  for (int i = 1; i <= 400; ++i) {
+    batch.push_back(make_doc(static_cast<std::uint64_t>(i), 20.0));
+  }
+  auto ctx = f.context();
+  const auto decisions = scheduler.schedule_batch(batch, ctx);
+  std::size_t bursted = 0;
+  for (const auto& d : decisions) {
+    if (d.placement == Placement::kExternal) ++bursted;
+  }
+  EXPECT_NEAR(static_cast<double>(bursted) / 400.0, 0.3, 0.07);
+}
+
+TEST(RandomSchedulerTest, DeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    SchedulerFixture f;
+    f.params.random_seed = seed;
+    RandomScheduler scheduler;
+    std::vector<cbs::workload::Document> batch;
+    for (int i = 1; i <= 50; ++i) {
+      batch.push_back(make_doc(static_cast<std::uint64_t>(i), 20.0));
+    }
+    auto ctx = f.context();
+    std::vector<Placement> placements;
+    for (const auto& d : scheduler.schedule_batch(batch, ctx)) {
+      placements.push_back(d.placement);
+    }
+    return placements;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(RandomSchedulerTest, ZeroProbabilityIsIcOnly) {
+  SchedulerFixture f;
+  f.params.random_burst_probability = 0.0;
+  RandomScheduler scheduler;
+  auto ctx = f.context();
+  for (const auto& d :
+       scheduler.schedule_batch({make_doc(1, 20.0), make_doc(2, 250.0)}, ctx)) {
+    EXPECT_EQ(d.placement, Placement::kInternal);
+  }
+}
+
+// ---- config ---------------------------------------------------------------
+
+TEST(ConfigTest, SchedulerNames) {
+  EXPECT_EQ(to_string(SchedulerKind::kIcOnly), "ic-only");
+  EXPECT_EQ(to_string(SchedulerKind::kGreedy), "greedy");
+  EXPECT_EQ(to_string(SchedulerKind::kOrderPreserving), "order-preserving");
+  EXPECT_EQ(to_string(SchedulerKind::kBandwidthSplit), "op-bandwidth-split");
+  EXPECT_EQ(to_string(SchedulerKind::kRandom), "random");
+}
+
+TEST(ConfigTest, HighVariationRaisesSigma) {
+  const auto normal = default_controller_config(false);
+  const auto high = default_controller_config(true);
+  EXPECT_GT(high.uplink.noise_sigma, normal.uplink.noise_sigma);
+  EXPECT_DOUBLE_EQ(normal.uplink.base_rate, high.uplink.base_rate);
+}
+
+TEST(ConfigTest, FactoryMakesAllSchedulers) {
+  for (const auto kind :
+       {SchedulerKind::kIcOnly, SchedulerKind::kGreedy,
+        SchedulerKind::kOrderPreserving, SchedulerKind::kBandwidthSplit,
+        SchedulerKind::kRandom}) {
+    const auto scheduler = make_scheduler(kind);
+    ASSERT_NE(scheduler, nullptr);
+    EXPECT_EQ(scheduler->name(), to_string(kind));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Failure injection: connection drops on the best-effort Internet path and
+// the system's behaviour under them — conservation still holds, every run
+// still terminates, and the SLA metrics degrade gracefully rather than
+// collapsing.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "harness/scenario.hpp"
+#include "net/link.hpp"
+#include "simcore/simulation.hpp"
+
+namespace {
+
+using namespace cbs;
+using cbs::sim::RngStream;
+using cbs::sim::Simulation;
+
+net::LinkConfig flaky_link(double failure_probability) {
+  net::LinkConfig cfg;
+  cfg.base_rate = 1.0e6;
+  cfg.per_connection_cap = 1.0e6;
+  cfg.noise_sigma = 0.0;
+  cfg.setup_latency = 0.5;
+  cfg.failure_probability = failure_probability;
+  cfg.max_retries = 3;
+  return cfg;
+}
+
+TEST(LinkFailureTest, ZeroProbabilityInjectsNothing) {
+  Simulation sim;
+  net::Link link(sim, flaky_link(0.0), RngStream(1));
+  for (int i = 0; i < 20; ++i) link.submit(1.0e6, 1, nullptr);
+  sim.run();
+  EXPECT_EQ(link.injected_failures(), 0u);
+  for (const auto& rec : link.completed()) EXPECT_EQ(rec.retries, 0);
+}
+
+TEST(LinkFailureTest, DropsHappenAndTransfersStillComplete) {
+  Simulation sim;
+  net::Link link(sim, flaky_link(0.6), RngStream(2));
+  int completions = 0;
+  for (int i = 0; i < 50; ++i) {
+    link.submit(2.0e6, 1, [&](const net::TransferRecord&) { ++completions; });
+  }
+  sim.run();
+  EXPECT_EQ(completions, 50);
+  EXPECT_GT(link.injected_failures(), 5u);
+  EXPECT_EQ(link.active_transfers(), 0u);
+}
+
+TEST(LinkFailureTest, DeliveredBytesCountPayloadOnce) {
+  // Conservation is on *useful* bytes: a transfer that restarted still
+  // delivers its payload exactly once.
+  Simulation sim;
+  net::Link link(sim, flaky_link(0.7), RngStream(3));
+  double submitted = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    const double bytes = 1.0e6 + 1.0e5 * i;
+    submitted += bytes;
+    link.submit(bytes, 1, nullptr);
+  }
+  sim.run();
+  EXPECT_NEAR(link.total_bytes_delivered(), submitted, 1.0);
+}
+
+TEST(LinkFailureTest, RetriesAreRecordedAndBounded) {
+  Simulation sim;
+  auto cfg = flaky_link(0.9);
+  cfg.max_retries = 2;
+  net::Link link(sim, cfg, RngStream(4));
+  for (int i = 0; i < 40; ++i) link.submit(1.0e6, 1, nullptr);
+  sim.run();
+  bool saw_retry = false;
+  for (const auto& rec : link.completed()) {
+    EXPECT_LE(rec.retries, 2);
+    if (rec.retries > 0) saw_retry = true;
+  }
+  EXPECT_TRUE(saw_retry);
+}
+
+TEST(LinkFailureTest, FailuresMakeTransfersSlower) {
+  const auto run_mean = [](double prob) {
+    Simulation sim;
+    net::Link link(sim, flaky_link(prob), RngStream(5));
+    double total = 0.0;
+    int n = 0;
+    for (int i = 0; i < 40; ++i) {
+      sim.schedule_at(100.0 * i, [&link, &total, &n] {
+        link.submit(4.0e6, 1, [&](const net::TransferRecord& rec) {
+          total += rec.completed - rec.requested;
+          ++n;
+        });
+      });
+    }
+    sim.run();
+    return total / n;
+  };
+  EXPECT_GT(run_mean(0.8), 1.3 * run_mean(0.0));
+}
+
+TEST(ScenarioFailureTest, FullRunSurvivesFlakyPipe) {
+  harness::Scenario s = harness::make_scenario(
+      core::SchedulerKind::kOrderPreserving, workload::SizeBucket::kLargeBiased);
+  s.num_batches = 3;
+  auto cfg = core::default_controller_config(false);
+  cfg.uplink.failure_probability = 0.3;
+  cfg.downlink.failure_probability = 0.3;
+  s.config_override = cfg;
+  const auto r = harness::run_scenario(s);  // throws on invariant violation
+  EXPECT_GT(r.outcomes.size(), 10u);
+  EXPECT_GT(r.report.speedup, 1.0);
+}
+
+TEST(ScenarioFailureTest, FlakyPipeCostsMakespanNotCorrectness) {
+  auto base = harness::make_scenario(core::SchedulerKind::kGreedy,
+                                     workload::SizeBucket::kLargeBiased);
+  base.num_batches = 3;
+
+  auto clean_cfg = core::default_controller_config(false);
+  base.config_override = clean_cfg;
+  const auto clean = harness::run_scenario(base);
+
+  auto flaky_cfg = clean_cfg;
+  flaky_cfg.uplink.failure_probability = 0.5;
+  flaky_cfg.downlink.failure_probability = 0.5;
+  base.config_override = flaky_cfg;
+  const auto flaky = harness::run_scenario(base);
+
+  EXPECT_EQ(clean.outcomes.size(), flaky.outcomes.size());
+  // Same work completed; the flaky pipe can only delay EC round trips.
+  EXPECT_GE(flaky.report.makespan_seconds,
+            0.95 * clean.report.makespan_seconds);
+}
+
+}  // namespace

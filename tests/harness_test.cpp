@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "harness/cli.hpp"
+#include "harness/csv.hpp"
+#include "harness/experiment.hpp"
+#include "harness/plot.hpp"
+#include "harness/scenario.hpp"
+
+namespace {
+
+using namespace cbs;
+using namespace cbs::harness;
+
+// ---- cli::Args --------------------------------------------------------------
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  std::vector<const char*> v = {"prog"};
+  v.insert(v.end(), args.begin(), args.end());
+  return v;
+}
+
+const std::vector<std::string> kFlags = {"alpha", "beta", "gamma"};
+
+TEST(CliArgsTest, ParsesEqualsForm) {
+  auto argv = argv_of({"--alpha=3", "--beta=hello"});
+  cli::Args args(static_cast<int>(argv.size()), argv.data(), kFlags);
+  EXPECT_EQ(args.get_or("alpha", ""), "3");
+  EXPECT_EQ(args.get_or("beta", ""), "hello");
+  EXPECT_FALSE(args.has("gamma"));
+}
+
+TEST(CliArgsTest, ParsesSpaceForm) {
+  auto argv = argv_of({"--alpha", "42"});
+  cli::Args args(static_cast<int>(argv.size()), argv.data(), kFlags);
+  EXPECT_EQ(args.get_long_or("alpha", 0), 42);
+}
+
+TEST(CliArgsTest, BooleanFlagDefaultsTrue) {
+  auto argv = argv_of({"--gamma"});
+  cli::Args args(static_cast<int>(argv.size()), argv.data(), kFlags);
+  EXPECT_TRUE(args.has("gamma"));
+  EXPECT_EQ(args.get_or("gamma", ""), "true");
+}
+
+TEST(CliArgsTest, PositionalArgumentsPreserved) {
+  auto argv = argv_of({"input.csv", "--alpha=1", "output.csv"});
+  cli::Args args(static_cast<int>(argv.size()), argv.data(), kFlags);
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.csv");
+  EXPECT_EQ(args.positional()[1], "output.csv");
+}
+
+TEST(CliArgsTest, RejectsUnknownFlag) {
+  auto argv = argv_of({"--delta=1"});
+  EXPECT_THROW(
+      cli::Args(static_cast<int>(argv.size()), argv.data(), kFlags),
+      std::runtime_error);
+}
+
+TEST(CliArgsTest, RejectsMalformedNumbers) {
+  auto argv = argv_of({"--alpha=12x"});
+  cli::Args args(static_cast<int>(argv.size()), argv.data(), kFlags);
+  EXPECT_THROW((void)args.get_long_or("alpha", 0), std::runtime_error);
+  EXPECT_THROW((void)args.get_double_or("alpha", 0.0), std::runtime_error);
+}
+
+TEST(CliArgsTest, NumericDefaultsApply) {
+  auto argv = argv_of({});
+  cli::Args args(static_cast<int>(argv.size()), argv.data(), kFlags);
+  EXPECT_EQ(args.get_long_or("alpha", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double_or("beta", 1.5), 1.5);
+}
+
+// ---- scenario parsing ---------------------------------------------------------
+
+cli::Args scenario_args(std::initializer_list<const char*> extra) {
+  static std::vector<const char*> argv;  // keep storage alive per test call
+  argv = argv_of(extra);
+  return cli::Args(static_cast<int>(argv.size()), argv.data(),
+                   cli::scenario_flags());
+}
+
+TEST(ScenarioCliTest, DefaultsAreTheLargeOpScenario) {
+  const Scenario s = cli::scenario_from_args(scenario_args({}));
+  EXPECT_EQ(s.scheduler, core::SchedulerKind::kOrderPreserving);
+  EXPECT_EQ(s.bucket, workload::SizeBucket::kLargeBiased);
+  EXPECT_EQ(s.seed, 42u);
+  EXPECT_EQ(s.num_batches, 8u);
+}
+
+TEST(ScenarioCliTest, ParsesEveryScheduler) {
+  EXPECT_EQ(cli::parse_scheduler("ic-only"), core::SchedulerKind::kIcOnly);
+  EXPECT_EQ(cli::parse_scheduler("greedy"), core::SchedulerKind::kGreedy);
+  EXPECT_EQ(cli::parse_scheduler("op"), core::SchedulerKind::kOrderPreserving);
+  EXPECT_EQ(cli::parse_scheduler("op-bandwidth-split"),
+            core::SchedulerKind::kBandwidthSplit);
+  EXPECT_THROW((void)cli::parse_scheduler("firstfit"), std::runtime_error);
+}
+
+TEST(ScenarioCliTest, ParsesBuckets) {
+  EXPECT_EQ(cli::parse_bucket("small"), workload::SizeBucket::kSmallBiased);
+  EXPECT_EQ(cli::parse_bucket("uniform"), workload::SizeBucket::kUniform);
+  EXPECT_EQ(cli::parse_bucket("large"), workload::SizeBucket::kLargeBiased);
+  EXPECT_THROW((void)cli::parse_bucket("huge"), std::runtime_error);
+}
+
+TEST(ScenarioCliTest, FlagsReachTheScenario) {
+  const Scenario s = cli::scenario_from_args(scenario_args(
+      {"--scheduler=greedy", "--bucket=small", "--seed=9", "--batches=3",
+       "--lambda=5", "--rescheduler", "--estimator=oracle", "--tolerance=2",
+       "--noise=0.3"}));
+  EXPECT_EQ(s.scheduler, core::SchedulerKind::kGreedy);
+  EXPECT_EQ(s.bucket, workload::SizeBucket::kSmallBiased);
+  EXPECT_EQ(s.seed, 9u);
+  EXPECT_EQ(s.num_batches, 3u);
+  EXPECT_DOUBLE_EQ(s.mean_jobs_per_batch, 5.0);
+  EXPECT_TRUE(s.enable_rescheduler);
+  EXPECT_EQ(s.estimator, core::EstimatorKind::kOracle);
+  EXPECT_EQ(s.oo_tolerance, 2u);
+  EXPECT_DOUBLE_EQ(s.truth.noise_sigma, 0.3);
+}
+
+TEST(ScenarioCliTest, ElasticFlagConfiguresOverride) {
+  const Scenario s = cli::scenario_from_args(scenario_args({"--elastic"}));
+  ASSERT_TRUE(s.config_override.has_value());
+  EXPECT_TRUE(s.controller_config().elastic_ec.enabled);
+}
+
+TEST(ScenarioCliTest, HighVarSurvivesElasticOverride) {
+  const Scenario s = cli::scenario_from_args(
+      scenario_args({"--elastic", "--high-var"}));
+  const auto cfg = s.controller_config();
+  EXPECT_TRUE(cfg.elastic_ec.enabled);
+  EXPECT_DOUBLE_EQ(cfg.uplink.noise_sigma, 0.25);
+}
+
+// ---- csv / chart helpers -------------------------------------------------------
+
+RunResult tiny_run() {
+  Scenario s = make_scenario(core::SchedulerKind::kGreedy,
+                             workload::SizeBucket::kUniform);
+  s.num_batches = 2;
+  return run_scenario(s);
+}
+
+TEST(CsvTest, CompletionSeriesIsOrderedBySeq) {
+  const RunResult r = tiny_run();
+  std::ostringstream out;
+  csv::write_completion_series(out, r);
+  std::istringstream in(out.str());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "seq,completed_seconds,placement");
+  std::uint64_t prev = 0;
+  std::size_t rows = 0;
+  while (std::getline(in, line)) {
+    const auto seq = std::stoull(line.substr(0, line.find(',')));
+    EXPECT_EQ(seq, prev + 1);
+    prev = seq;
+    ++rows;
+  }
+  EXPECT_EQ(rows, r.outcomes.size());
+}
+
+TEST(CsvTest, OoSeriesMatchesResult) {
+  const RunResult r = tiny_run();
+  std::ostringstream out;
+  csv::write_oo_series(out, r);
+  std::istringstream in(out.str());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "time_seconds,ordered_mb");
+  std::size_t rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, r.oo_series.size());
+}
+
+TEST(CsvTest, ReportRowPerResult) {
+  const RunResult r = tiny_run();
+  std::ostringstream out;
+  csv::write_reports(out, {r, r});
+  std::istringstream in(out.str());
+  std::string line;
+  std::size_t rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 3u);  // header + 2
+}
+
+TEST(CsvTest, OverlayHasColumnPerResult) {
+  const RunResult r = tiny_run();
+  std::ostringstream out;
+  csv::write_oo_overlay(out, {r, r}, 120.0);
+  std::istringstream in(out.str());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(std::count(header.begin(), header.end(), ','), 2);
+}
+
+TEST(AsciiChartTest, RendersRequestedHeight) {
+  const std::string chart = ascii_chart({1.0, 2.0, 3.0, 2.0, 5.0}, 6, 40);
+  EXPECT_EQ(std::count(chart.begin(), chart.end(), '\n'), 6);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+}
+
+TEST(AsciiChartTest, EmptyInputIsEmptyOutput) {
+  EXPECT_TRUE(ascii_chart({}, 5, 40).empty());
+}
+
+TEST(AsciiChartTest, FlatSeriesDrawsBaseline) {
+  const std::string chart = ascii_chart({2.0, 2.0, 2.0}, 4, 40);
+  // Only the bottom row is filled for a constant series.
+  std::istringstream in(chart);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0].find('#'), std::string::npos);
+  EXPECT_NE(lines[3].find('#'), std::string::npos);
+}
+
+// ---- gnuplot emitter -------------------------------------------------------
+
+TEST(PlotTest, WritesDatAndScript) {
+  plot::Figure fig;
+  fig.title = "t";
+  fig.xlabel = "x";
+  fig.ylabel = "y";
+  fig.series.push_back({"a", {0.0, 1.0, 2.0}, {1.0, 2.0, 3.0}});
+  fig.series.push_back({"b", {0.0, 2.0}, {5.0, 6.0}});
+  const std::string prefix = "/tmp/cbs_plot_test";
+  const std::string gp = plot::write_gnuplot(prefix, fig);
+  EXPECT_EQ(gp, prefix + ".gp");
+
+  std::ifstream dat(prefix + ".dat");
+  ASSERT_TRUE(dat.good());
+  std::string line;
+  std::getline(dat, line);  // header
+  std::getline(dat, line);
+  EXPECT_EQ(line, "0 1 5");
+  std::getline(dat, line);
+  EXPECT_EQ(line, "1 2 ?");  // series b missing at x=1
+  std::getline(dat, line);
+  EXPECT_EQ(line, "2 3 6");
+
+  std::ifstream gps(gp);
+  ASSERT_TRUE(gps.good());
+  std::string all((std::istreambuf_iterator<char>(gps)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("set datafile missing '?'"), std::string::npos);
+  EXPECT_NE(all.find("title 'a'"), std::string::npos);
+  EXPECT_NE(all.find("title 'b'"), std::string::npos);
+}
+
+TEST(PlotTest, FromTimeSeries) {
+  cbs::stats::TimeSeries ts;
+  ts.add(1.0, 10.0);
+  ts.add(2.0, 20.0);
+  const auto s = plot::from_timeseries("x", ts);
+  ASSERT_EQ(s.xs.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.xs[1], 2.0);
+  EXPECT_DOUBLE_EQ(s.ys[1], 20.0);
+}
+
+TEST(PlotTest, RejectsUnwritablePath) {
+  plot::Figure fig;
+  fig.series.push_back({"a", {0.0}, {1.0}});
+  EXPECT_THROW((void)plot::write_gnuplot("/nonexistent-dir/x", fig),
+               std::runtime_error);
+}
+
+// ---- scenario helpers ------------------------------------------------------------
+
+TEST(ScenarioTest, MakeScenarioNamesAreDescriptive) {
+  const Scenario s = make_scenario(core::SchedulerKind::kGreedy,
+                                   workload::SizeBucket::kLargeBiased, 1, true);
+  EXPECT_EQ(s.name, "greedy/large/high-var");
+}
+
+TEST(ScenarioTest, ControllerConfigAppliesSchedulerFields) {
+  Scenario s = make_scenario(core::SchedulerKind::kBandwidthSplit,
+                             workload::SizeBucket::kUniform);
+  s.enable_rescheduler = true;
+  const auto cfg = s.controller_config();
+  EXPECT_EQ(cfg.scheduler, core::SchedulerKind::kBandwidthSplit);
+  EXPECT_TRUE(cfg.enable_rescheduler);
+}
+
+}  // namespace

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "simcore/logging.hpp"
+
+namespace {
+
+using cbs::sim::Logger;
+using cbs::sim::LogLevel;
+
+struct Captured {
+  LogLevel level;
+  double time;
+  std::string message;
+};
+
+Logger capturing_logger(std::vector<Captured>& sink,
+                        LogLevel threshold = LogLevel::kDebug) {
+  Logger logger("test", threshold);
+  // The constructor floors the threshold at the process-wide default;
+  // set_threshold afterwards expresses an explicit per-test choice.
+  logger.set_threshold(threshold);
+  logger.set_sink([&sink](LogLevel level, double t, std::string_view msg) {
+    sink.push_back({level, t, std::string(msg)});
+  });
+  return logger;
+}
+
+TEST(LoggerTest, MessagesBelowThresholdAreDropped) {
+  std::vector<Captured> sink;
+  Logger logger = capturing_logger(sink, LogLevel::kWarn);
+  logger.debug(1.0, "quiet");
+  logger.info(2.0, "quiet");
+  logger.warn(3.0, "loud");
+  ASSERT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink[0].level, LogLevel::kWarn);
+  EXPECT_DOUBLE_EQ(sink[0].time, 3.0);
+}
+
+TEST(LoggerTest, MessagesAreFormattedWithComponent) {
+  std::vector<Captured> sink;
+  Logger logger = capturing_logger(sink);
+  logger.info(5.0, "job ", 42, " done in ", 1.5, "s");
+  ASSERT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink[0].message, "[test] job 42 done in 1.5s");
+}
+
+TEST(LoggerTest, ThresholdCanBeRaisedAtRuntime) {
+  std::vector<Captured> sink;
+  Logger logger = capturing_logger(sink, LogLevel::kDebug);
+  logger.set_threshold(LogLevel::kError);
+  logger.warn(1.0, "dropped");
+  EXPECT_TRUE(sink.empty());
+  EXPECT_FALSE(logger.enabled(LogLevel::kWarn));
+  EXPECT_TRUE(logger.enabled(LogLevel::kError));
+}
+
+TEST(LoggerTest, OffSilencesEverything) {
+  std::vector<Captured> sink;
+  Logger logger = capturing_logger(sink, LogLevel::kOff);
+  logger.log(LogLevel::kError, 1.0, "nope");
+  EXPECT_TRUE(sink.empty());
+}
+
+TEST(LoggerTest, GlobalThresholdFloorsNewLoggers) {
+  const LogLevel before = Logger::global_threshold();
+  Logger::set_global_threshold(LogLevel::kError);
+  std::vector<Captured> sink;
+  Logger logger("late", LogLevel::kDebug);
+  logger.set_sink([&sink](LogLevel level, double t, std::string_view msg) {
+    sink.push_back({level, t, std::string(msg)});
+  });
+  logger.info(1.0, "dropped by global floor");
+  EXPECT_TRUE(sink.empty());
+  Logger::set_global_threshold(before);
+}
+
+TEST(LoggerTest, LevelNames) {
+  EXPECT_EQ(cbs::sim::to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(cbs::sim::to_string(LogLevel::kError), "ERROR");
+  EXPECT_EQ(cbs::sim::to_string(LogLevel::kOff), "OFF");
+}
+
+}  // namespace

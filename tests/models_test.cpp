@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/estimator.hpp"
+#include "models/feature_vector.hpp"
+#include "models/qrsm.hpp"
+#include "simcore/rng.hpp"
+#include "workload/generator.hpp"
+#include "workload/ground_truth.hpp"
+
+namespace {
+
+using namespace cbs::models;
+using cbs::sim::RngStream;
+using cbs::workload::Document;
+using cbs::workload::DocumentFeatures;
+using cbs::workload::GroundTruthModel;
+using cbs::workload::WorkloadGenerator;
+
+// ---- feature extraction ---------------------------------------------------
+
+TEST(FeatureVectorTest, ExtractRawOrderMatchesNames) {
+  DocumentFeatures f;
+  f.size_mb = 1.0;
+  f.pages = 2;
+  f.num_images = 3;
+  f.avg_image_mb = 4.0;
+  f.resolution_dpi = 5.0;
+  f.color_fraction = 6.0;
+  f.text_ratio = 7.0;
+  f.coverage = 8.0;
+  const auto raw = extract_raw(f);
+  for (std::size_t i = 0; i < kNumRawFeatures; ++i) {
+    EXPECT_DOUBLE_EQ(raw[i], static_cast<double>(i + 1));
+  }
+  EXPECT_EQ(feature_names().size(), kNumRawFeatures);
+}
+
+TEST(FeatureVectorTest, QuadraticDimFormula) {
+  EXPECT_EQ(quadratic_dim(2), 1u + 2u + 1u + 2u);
+  EXPECT_EQ(quadratic_dim(8), 1u + 8u + 28u + 8u);
+}
+
+TEST(FeatureVectorTest, QuadraticExpandLayout) {
+  std::array<double, kNumRawFeatures> x{};
+  for (std::size_t i = 0; i < kNumRawFeatures; ++i) {
+    x[i] = static_cast<double>(i + 1);
+  }
+  const auto row = quadratic_expand(x);
+  ASSERT_EQ(row.size(), quadratic_dim(kNumRawFeatures));
+  EXPECT_DOUBLE_EQ(row[0], 1.0);                    // intercept
+  EXPECT_DOUBLE_EQ(row[1], 1.0);                    // x1
+  EXPECT_DOUBLE_EQ(row[8], 8.0);                    // x8
+  EXPECT_DOUBLE_EQ(row[9], 1.0 * 2.0);              // x1*x2
+  EXPECT_DOUBLE_EQ(row[10], 1.0 * 3.0);             // x1*x3
+  EXPECT_DOUBLE_EQ(row.back(), 8.0 * 8.0);          // x8^2
+  EXPECT_DOUBLE_EQ(row[row.size() - kNumRawFeatures], 1.0);  // x1^2
+}
+
+TEST(FeatureVectorTest, ScalerStandardizes) {
+  std::vector<std::array<double, kNumRawFeatures>> rows;
+  for (int i = 0; i < 100; ++i) {
+    std::array<double, kNumRawFeatures> r{};
+    r[0] = static_cast<double>(i);  // varies
+    r[1] = 5.0;                     // constant
+    rows.push_back(r);
+  }
+  const auto scaler = FeatureScaler::fit(rows);
+  EXPECT_NEAR(scaler.mean[0], 49.5, 1e-9);
+  EXPECT_DOUBLE_EQ(scaler.scale[1], 1.0);  // constant features get scale 1
+  const auto z = scaler.apply(rows[0]);
+  EXPECT_LT(z[0], 0.0);  // below the mean
+  EXPECT_DOUBLE_EQ(z[1], 0.0);
+}
+
+// ---- QrsmModel --------------------------------------------------------------
+
+GroundTruthModel noiseless_truth() {
+  GroundTruthModel::Config cfg;
+  cfg.noise_sigma = 0.0;
+  return GroundTruthModel(cfg, RngStream(1));
+}
+
+TEST(QrsmTest, RecoversNoiselessQuadraticLawExactly) {
+  // Restricted to a single job class (constant type multiplier), the
+  // ground-truth law is nearly quadratic in the raw features (one trilinear
+  // term — size x resolution x color — is outside the model class), so a
+  // QRSM fit on noiseless labels must be near-perfect.
+  const auto truth = noiseless_truth();
+  WorkloadGenerator gen({}, truth, RngStream(2));
+  std::vector<DocumentFeatures> feats;
+  std::vector<double> y;
+  for (int i = 0; i < 400; ++i) {
+    Document d = gen.next();
+    d.features.type = cbs::workload::JobType::kMailCampaign;
+    feats.push_back(d.features);
+    y.push_back(truth.expected_seconds(d.features));
+  }
+  QrsmModel model({.ridge_lambda = 1e-8});
+  model.fit(feats, y);
+  ASSERT_TRUE(model.is_fitted());
+  EXPECT_GT(model.last_fit()->r_squared, 0.995);
+
+  WorkloadGenerator held_out({}, truth, RngStream(3));
+  for (int i = 0; i < 100; ++i) {
+    Document d = held_out.next();
+    d.features.type = cbs::workload::JobType::kMailCampaign;
+    const double actual = truth.expected_seconds(d.features);
+    EXPECT_NEAR(model.predict(d.features), actual, 0.10 * actual + 6.0);
+  }
+}
+
+TEST(QrsmTest, UnfittedFallsBackToBufferMean) {
+  QrsmModel model;
+  DocumentFeatures f;
+  f.size_mb = 10.0;
+  EXPECT_DOUBLE_EQ(model.predict(f), 1.0);  // min_prediction floor
+  model.observe(f, 100.0);
+  model.observe(f, 200.0);
+  EXPECT_DOUBLE_EQ(model.predict(f), 150.0);
+}
+
+TEST(QrsmTest, PredictionClampedToFloor) {
+  const auto truth = noiseless_truth();
+  WorkloadGenerator gen({}, truth, RngStream(4));
+  std::vector<DocumentFeatures> feats;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    feats.push_back(gen.next().features);
+    y.push_back(1.5);  // constant tiny label
+  }
+  QrsmModel model({.min_prediction_seconds = 5.0});
+  model.fit(feats, y);
+  DocumentFeatures f = feats[0];
+  EXPECT_GE(model.predict(f), 5.0);
+}
+
+TEST(QrsmTest, OnlineRefitHappensAtInterval) {
+  const auto truth = noiseless_truth();
+  WorkloadGenerator gen({}, truth, RngStream(5));
+  QrsmModel model({.refit_interval = 16});
+  // Below the data requirement: no fit yet, regardless of interval.
+  for (int i = 0; i < 32; ++i) {
+    const Document d = gen.next();
+    model.observe(d.features, truth.expected_seconds(d.features));
+  }
+  EXPECT_FALSE(model.is_fitted());
+  for (int i = 0; i < 64; ++i) {
+    const Document d = gen.next();
+    model.observe(d.features, truth.expected_seconds(d.features));
+  }
+  EXPECT_TRUE(model.is_fitted());
+}
+
+TEST(QrsmTest, WindowBoundsBuffer) {
+  const auto truth = noiseless_truth();
+  WorkloadGenerator gen({}, truth, RngStream(6));
+  QrsmModel model({.refit_interval = 1000000, .window = 50});
+  for (int i = 0; i < 200; ++i) {
+    const Document d = gen.next();
+    model.observe(d.features, 1.0);
+  }
+  EXPECT_EQ(model.buffered(), 50u);
+  EXPECT_EQ(model.observations(), 200u);
+}
+
+TEST(QrsmTest, AdaptsToRegimeChange) {
+  // Labels double mid-stream; the windowed online fit must follow.
+  const auto truth = noiseless_truth();
+  WorkloadGenerator gen({}, truth, RngStream(7));
+  QrsmModel model({.refit_interval = 32, .window = 256});
+  std::vector<Document> probe_docs;
+  for (int i = 0; i < 20; ++i) probe_docs.push_back(gen.next());
+
+  for (int i = 0; i < 300; ++i) {
+    const Document d = gen.next();
+    model.observe(d.features, truth.expected_seconds(d.features));
+  }
+  const double before = model.predict(probe_docs[0].features);
+  for (int i = 0; i < 400; ++i) {
+    const Document d = gen.next();
+    model.observe(d.features, 2.0 * truth.expected_seconds(d.features));
+  }
+  const double after = model.predict(probe_docs[0].features);
+  EXPECT_GT(after, 1.5 * before);
+}
+
+// ---- estimators --------------------------------------------------------------
+
+TEST(EstimatorTest, OracleReturnsExpectation) {
+  const auto truth = noiseless_truth();
+  OracleEstimator oracle(truth);
+  Document d;
+  d.features.size_mb = 120.0;
+  EXPECT_DOUBLE_EQ(oracle.estimate_seconds(d),
+                   truth.expected_seconds(d.features));
+}
+
+TEST(EstimatorTest, BiasedEstimatorScales) {
+  const auto truth = noiseless_truth();
+  auto biased = BiasedEstimator(std::make_unique<OracleEstimator>(truth), 1.5);
+  Document d;
+  d.features.size_mb = 100.0;
+  EXPECT_DOUBLE_EQ(biased.estimate_seconds(d),
+                   1.5 * truth.expected_seconds(d.features));
+}
+
+TEST(EstimatorTest, QrsmEstimatorLearnsFromObserve) {
+  const auto truth = noiseless_truth();
+  WorkloadGenerator gen({}, truth, RngStream(8));
+  QrsmEstimator estimator({.refit_interval = 32});
+  for (int i = 0; i < 200; ++i) {
+    const Document d = gen.next();
+    estimator.observe(d, truth.expected_seconds(d.features));
+  }
+  EXPECT_TRUE(estimator.model().is_fitted());
+  const Document probe = gen.next();
+  const double actual = truth.expected_seconds(probe.features);
+  EXPECT_NEAR(estimator.estimate_seconds(probe), actual, 0.1 * actual + 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,423 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "net/bandwidth_estimator.hpp"
+#include "net/bandwidth_profile.hpp"
+#include "net/ewma.hpp"
+#include "net/link.hpp"
+#include "net/noise.hpp"
+#include "net/thread_tuner.hpp"
+#include "simcore/simulation.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+using namespace cbs::net;
+using cbs::sim::kDay;
+using cbs::sim::kHour;
+using cbs::sim::RngStream;
+using cbs::sim::Simulation;
+
+// ---- DiurnalProfile ---------------------------------------------------
+
+TEST(DiurnalProfileTest, FlatIsAlwaysOne) {
+  const auto p = DiurnalProfile::flat();
+  for (double t : {0.0, 1234.5, kDay, 3.7 * kDay}) {
+    EXPECT_DOUBLE_EQ(p.multiplier_at(t), 1.0);
+  }
+}
+
+TEST(DiurnalProfileTest, HitsAnchorsAtSlotStarts) {
+  const DiurnalProfile p({1.0, 2.0, 4.0, 8.0});
+  EXPECT_DOUBLE_EQ(p.multiplier_at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.multiplier_at(kDay / 4.0), 2.0);
+  EXPECT_DOUBLE_EQ(p.multiplier_at(kDay / 2.0), 4.0);
+}
+
+TEST(DiurnalProfileTest, InterpolatesLinearly) {
+  const DiurnalProfile p({1.0, 3.0});
+  EXPECT_DOUBLE_EQ(p.multiplier_at(kDay / 4.0), 2.0);  // halfway to anchor 2
+}
+
+TEST(DiurnalProfileTest, WrapsAcrossMidnight) {
+  const DiurnalProfile p({1.0, 3.0});
+  // Last segment interpolates back toward the first anchor.
+  EXPECT_DOUBLE_EQ(p.multiplier_at(0.75 * kDay), 2.0);
+  EXPECT_DOUBLE_EQ(p.multiplier_at(kDay), 1.0);
+  EXPECT_DOUBLE_EQ(p.multiplier_at(kDay + kDay / 4.0), 2.0);
+}
+
+TEST(DiurnalProfileTest, BusinessPipeDipsDuringOfficeHours) {
+  const auto p = DiurnalProfile::business_pipe();
+  EXPECT_GT(p.multiplier_at(3.0 * kHour), p.multiplier_at(12.0 * kHour));
+  EXPECT_GT(p.multiplier_at(22.0 * kHour), p.multiplier_at(14.0 * kHour));
+}
+
+TEST(ThrottleTest, EpisodesMultiply) {
+  const std::vector<ThrottleEpisode> eps = {{10.0, 20.0, 0.5}, {15.0, 30.0, 0.4}};
+  EXPECT_DOUBLE_EQ(throttle_factor(eps, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(throttle_factor(eps, 12.0), 0.5);
+  EXPECT_DOUBLE_EQ(throttle_factor(eps, 17.0), 0.2);
+  EXPECT_DOUBLE_EQ(throttle_factor(eps, 25.0), 0.4);
+  EXPECT_DOUBLE_EQ(throttle_factor(eps, 30.0), 1.0);  // end exclusive
+}
+
+// ---- Ar1LogNoise --------------------------------------------------------
+
+TEST(NoiseTest, ZeroSigmaIsDeterministicOne) {
+  Ar1LogNoise noise(0.9, 0.0, 30.0, RngStream(1));
+  for (double t : {0.0, 100.0, 5000.0}) {
+    EXPECT_DOUBLE_EQ(noise.multiplier_at(t), 1.0);
+  }
+}
+
+TEST(NoiseTest, MultiplierIsPositive) {
+  Ar1LogNoise noise(0.9, 0.5, 30.0, RngStream(2));
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_GT(noise.multiplier_at(i * 30.0), 0.0);
+  }
+}
+
+TEST(NoiseTest, MeanIsApproximatelyOne) {
+  // The mean-one normalization: raising sigma must not change the average
+  // capacity (otherwise high-variation scenarios get faster pipes).
+  for (double sigma : {0.1, 0.35}) {
+    Ar1LogNoise noise(0.9, sigma, 30.0, RngStream(3));
+    cbs::stats::Summary s;
+    for (int i = 0; i < 200000; ++i) s.add(noise.multiplier_at(i * 30.0));
+    EXPECT_NEAR(s.mean(), 1.0, 0.05) << "sigma=" << sigma;
+  }
+}
+
+TEST(NoiseTest, HigherSigmaMeansMoreVariance) {
+  Ar1LogNoise lo(0.9, 0.08, 30.0, RngStream(4));
+  Ar1LogNoise hi(0.9, 0.35, 30.0, RngStream(4));
+  cbs::stats::Summary slo;
+  cbs::stats::Summary shi;
+  for (int i = 0; i < 20000; ++i) {
+    slo.add(lo.multiplier_at(i * 30.0));
+    shi.add(hi.multiplier_at(i * 30.0));
+  }
+  EXPECT_GT(shi.cov(), 2.0 * slo.cov());
+}
+
+TEST(NoiseTest, DeterministicForSameSeed) {
+  Ar1LogNoise a(0.9, 0.3, 30.0, RngStream(7));
+  Ar1LogNoise b(0.9, 0.3, 30.0, RngStream(7));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.multiplier_at(i * 30.0), b.multiplier_at(i * 30.0));
+  }
+}
+
+TEST(NoiseTest, LongIdleGapIsCheapAndValid) {
+  Ar1LogNoise noise(0.99, 0.3, 30.0, RngStream(8));
+  (void)noise.multiplier_at(0.0);
+  // A week-long gap fast-forwards via the stationary law in O(1).
+  const double m = noise.multiplier_at(7.0 * kDay);
+  EXPECT_GT(m, 0.0);
+  EXPECT_TRUE(std::isfinite(m));
+}
+
+// ---- Ewma ----------------------------------------------------------------
+
+TEST(EwmaTest, FirstObservationInitializes) {
+  Ewma e(0.3);
+  EXPECT_FALSE(e.has_value());
+  e.observe(10.0);
+  EXPECT_TRUE(e.has_value());
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(EwmaTest, FollowsPaperRecurrence) {
+  // S_n = alpha*Y_n + (1-alpha)*S_{n-1}
+  Ewma e(0.25);
+  e.observe(8.0);
+  e.observe(16.0);
+  EXPECT_DOUBLE_EQ(e.value(), 0.25 * 16.0 + 0.75 * 8.0);
+  e.observe(4.0);
+  EXPECT_DOUBLE_EQ(e.value(), 0.25 * 4.0 + 0.75 * 10.0);
+}
+
+TEST(EwmaTest, ConvergesToConstantSignal) {
+  Ewma e(0.3);
+  e.observe(0.0);
+  for (int i = 0; i < 100; ++i) e.observe(42.0);
+  EXPECT_NEAR(e.value(), 42.0, 1e-6);
+}
+
+// ---- Link ------------------------------------------------------------------
+
+LinkConfig basic_link(double rate = 1.0e6) {
+  LinkConfig cfg;
+  cfg.base_rate = rate;
+  cfg.per_connection_cap = rate;  // one thread saturates
+  cfg.noise_sigma = 0.0;
+  cfg.setup_latency = 0.0;
+  cfg.profile = DiurnalProfile::flat();
+  return cfg;
+}
+
+TEST(LinkTest, SingleTransferTakesBytesOverRate) {
+  Simulation sim;
+  Link link(sim, basic_link(1.0e6), RngStream(1));
+  double completed_at = -1.0;
+  link.submit(5.0e6, 1, [&](const TransferRecord& rec) {
+    completed_at = rec.completed;
+  });
+  sim.run();
+  EXPECT_NEAR(completed_at, 5.0, 1e-9);
+}
+
+TEST(LinkTest, SetupLatencyDelaysStart) {
+  Simulation sim;
+  auto cfg = basic_link(1.0e6);
+  cfg.setup_latency = 2.0;
+  Link link(sim, cfg, RngStream(1));
+  TransferRecord record;
+  link.submit(1.0e6, 1, [&](const TransferRecord& rec) { record = rec; });
+  sim.run();
+  EXPECT_DOUBLE_EQ(record.started, 2.0);
+  EXPECT_NEAR(record.completed, 3.0, 1e-9);
+  EXPECT_NEAR(record.transfer_rate(), 1.0e6, 1.0);
+  EXPECT_NEAR(record.effective_rate(), 1.0e6 / 3.0, 1.0);
+}
+
+TEST(LinkTest, PerConnectionCapLimitsSingleTransfer) {
+  Simulation sim;
+  auto cfg = basic_link(1.0e6);
+  cfg.per_connection_cap = 0.25e6;
+  Link link(sim, cfg, RngStream(1));
+  double completed_at = -1.0;
+  // 2 threads -> 0.5 MB/s even though the pipe offers 1 MB/s.
+  link.submit(1.0e6, 2, [&](const TransferRecord& rec) {
+    completed_at = rec.completed;
+  });
+  sim.run();
+  EXPECT_NEAR(completed_at, 2.0, 1e-9);
+}
+
+TEST(LinkTest, ConcurrentTransfersShareCapacityFairly) {
+  Simulation sim;
+  Link link(sim, basic_link(1.0e6), RngStream(1));
+  std::vector<double> completions;
+  for (int i = 0; i < 2; ++i) {
+    link.submit(1.0e6, 1, [&](const TransferRecord& rec) {
+      completions.push_back(rec.completed);
+    });
+  }
+  sim.run();
+  ASSERT_EQ(completions.size(), 2u);
+  // Both share 1 MB/s -> each effectively 0.5 MB/s -> both done at t=2.
+  EXPECT_NEAR(completions[0], 2.0, 1e-6);
+  EXPECT_NEAR(completions[1], 2.0, 1e-6);
+}
+
+TEST(LinkTest, WaterFillingRespectsSmallDemands) {
+  Simulation sim;
+  auto cfg = basic_link(1.0e6);
+  cfg.per_connection_cap = 0.2e6;
+  Link link(sim, cfg, RngStream(1));
+  std::vector<std::pair<int, double>> done;  // (tag, time)
+  // Transfer A: 1 thread -> demand 0.2 MB/s. Transfer B: 8 threads -> wants
+  // 1.6 but gets the remaining 0.8.
+  link.submit(0.2e6, 1, [&](const TransferRecord& rec) {
+    done.emplace_back(0, rec.completed);
+  });
+  link.submit(1.6e6, 8, [&](const TransferRecord& rec) {
+    done.emplace_back(1, rec.completed);
+  });
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].first, 0);
+  EXPECT_NEAR(done[0].second, 1.0, 1e-6);  // 0.2 MB at 0.2 MB/s
+  // B: 0.8 MB/s while A alive (1s -> 0.8 MB done), then full 1.0 MB/s for
+  // the remaining 0.8 MB -> 1.8s total.
+  EXPECT_NEAR(done[1].second, 1.8, 1e-6);
+}
+
+TEST(LinkTest, ConservesBytes) {
+  Simulation sim;
+  auto cfg = basic_link(0.8e6);
+  cfg.noise_sigma = 0.3;
+  cfg.noise_step = 10.0;
+  cfg.per_connection_cap = 0.2e6;
+  Link link(sim, cfg, RngStream(99));
+  RngStream rng(5);
+  double submitted = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    const double bytes = rng.uniform(0.1e6, 20.0e6);
+    submitted += bytes;
+    const double when = rng.uniform(0.0, 500.0);
+    sim.schedule_at(when, [&link, bytes] {
+      link.submit(bytes, 2, nullptr);
+    });
+  }
+  sim.run();
+  EXPECT_NEAR(link.total_bytes_delivered(), submitted, 1.0);
+  EXPECT_EQ(link.completed().size(), 40u);
+  EXPECT_EQ(link.active_transfers(), 0u);
+}
+
+TEST(LinkTest, ThrottleSlowsTransfers) {
+  Simulation sim;
+  auto cfg = basic_link(1.0e6);
+  cfg.throttles = {{0.0, 1000.0, 0.5}};
+  Link link(sim, cfg, RngStream(1));
+  double completed_at = -1.0;
+  link.submit(1.0e6, 1, [&](const TransferRecord& rec) {
+    completed_at = rec.completed;
+  });
+  sim.run();
+  EXPECT_NEAR(completed_at, 2.0, 1e-6);
+}
+
+TEST(LinkTest, CapacityFloorGuaranteesProgress) {
+  Simulation sim;
+  auto cfg = basic_link(1.0e6);
+  cfg.throttles = {{0.0, 1e9, 1e-9}};  // throttled to (almost) nothing
+  cfg.min_capacity_fraction = 0.1;     // ... but the floor holds 0.1 MB/s
+  Link link(sim, cfg, RngStream(1));
+  double completed_at = -1.0;
+  link.submit(1.0e6, 1, [&](const TransferRecord& rec) {
+    completed_at = rec.completed;
+  });
+  sim.run();
+  EXPECT_NEAR(completed_at, 10.0, 1e-6);
+}
+
+TEST(LinkTest, BusyTimeTracksActivity) {
+  Simulation sim;
+  Link link(sim, basic_link(1.0e6), RngStream(1));
+  link.submit(2.0e6, 1, nullptr);
+  sim.schedule_at(10.0, [&] { link.submit(1.0e6, 1, nullptr); });
+  sim.run();
+  EXPECT_NEAR(link.busy_time(), 3.0, 1e-6);  // [0,2] and [10,11]
+}
+
+TEST(LinkTest, DiurnalProfileChangesRateAcrossTicks) {
+  Simulation sim;
+  auto cfg = basic_link(1.0e6);
+  // Slow first half-day, fast second half.
+  cfg.profile = DiurnalProfile({0.5, 0.5, 2.0, 2.0});
+  cfg.noise_step = 60.0;
+  Link link(sim, cfg, RngStream(1));
+  double completed_at = -1.0;
+  link.submit(3.0e6, 1, [&](const TransferRecord& rec) {
+    completed_at = rec.completed;
+  });
+  sim.run();
+  // At 0.5 MB/s, 3 MB would take 6s — with piecewise re-evaluation it stays
+  // ~6s because we are deep inside the slow slot.
+  EXPECT_NEAR(completed_at, 6.0, 0.1);
+}
+
+// ---- BandwidthEstimator ------------------------------------------------
+
+TEST(BandwidthEstimatorTest, PriorBeforeObservations) {
+  BandwidthEstimator est({.slots_per_day = 24, .alpha = 0.3, .prior_rate = 5.0e5});
+  EXPECT_DOUBLE_EQ(est.estimate(0.0), 5.0e5);
+  EXPECT_DOUBLE_EQ(est.last_observed(), 5.0e5);
+}
+
+TEST(BandwidthEstimatorTest, SlotMapping) {
+  BandwidthEstimator est({.slots_per_day = 24, .alpha = 0.3, .prior_rate = 1.0});
+  EXPECT_EQ(est.slot_of(0.0), 0u);
+  EXPECT_EQ(est.slot_of(kHour + 1.0), 1u);
+  EXPECT_EQ(est.slot_of(23.5 * kHour), 23u);
+  EXPECT_EQ(est.slot_of(kDay + kHour), 1u);  // wraps
+}
+
+TEST(BandwidthEstimatorTest, SlotEwmaThenGlobalFallback) {
+  BandwidthEstimator est({.slots_per_day = 24, .alpha = 0.5, .prior_rate = 1.0});
+  est.observe(0.5 * kHour, 100.0);  // slot 0
+  EXPECT_DOUBLE_EQ(est.estimate(0.0), 100.0);
+  // Slot 5 has no data: falls back to the global EWMA (= 100).
+  EXPECT_DOUBLE_EQ(est.estimate(5.0 * kHour), 100.0);
+  est.observe(5.5 * kHour, 300.0);
+  EXPECT_DOUBLE_EQ(est.estimate(5.0 * kHour), 300.0);
+  // Global is now 0.5*300 + 0.5*100 = 200 for untouched slots.
+  EXPECT_DOUBLE_EQ(est.estimate(10.0 * kHour), 200.0);
+}
+
+TEST(BandwidthEstimatorTest, TransferSecondsSimpleCase) {
+  BandwidthEstimator est({.slots_per_day = 1, .alpha = 0.3, .prior_rate = 1.0e6});
+  EXPECT_NEAR(est.estimate_transfer_seconds(0.0, 5.0e6), 5.0, 1e-9);
+}
+
+TEST(BandwidthEstimatorTest, TransferSecondsBlendsAcrossSlots) {
+  BandwidthEstimator est({.slots_per_day = 24, .alpha = 1.0, .prior_rate = 1.0e6});
+  // Slot 0 fast (2 MB/s), slot 1 slow (0.5 MB/s).
+  est.observe(0.0, 2.0e6);
+  est.observe(kHour, 0.5e6);
+  for (int s = 2; s < 24; ++s) est.observe(static_cast<double>(s) * kHour, 1.0e6);
+  // Start 30 min before the slot boundary with 7.2 GB-equivalent... use a
+  // transfer that takes 30 min at 2 MB/s plus 1 hour at 0.5 MB/s:
+  const double bytes = 2.0e6 * 1800.0 + 0.5e6 * 3600.0;
+  const double secs = est.estimate_transfer_seconds(1800.0, bytes);
+  EXPECT_NEAR(secs, 1800.0 + 3600.0, 1.0);
+}
+
+TEST(BandwidthEstimatorTest, LastObservedIsRaw) {
+  BandwidthEstimator est({.slots_per_day = 24, .alpha = 0.1, .prior_rate = 1.0});
+  est.observe(0.0, 100.0);
+  est.observe(1.0, 900.0);
+  EXPECT_DOUBLE_EQ(est.last_observed(), 900.0);
+  EXPECT_LT(est.estimate(0.0), 300.0);  // EWMA is far behind the spike
+}
+
+// ---- ThreadTuner ---------------------------------------------------------
+
+TEST(ThreadTunerTest, StartsAtInitial) {
+  ThreadTuner tuner({.slots_per_day = 1, .min_threads = 1, .max_threads = 8,
+                     .initial_threads = 3});
+  EXPECT_EQ(tuner.suggest(0.0), 3);
+}
+
+TEST(ThreadTunerTest, ClimbsWhenMoreThreadsPayOff) {
+  ThreadTuner tuner({.slots_per_day = 1, .min_threads = 1, .max_threads = 16,
+                     .initial_threads = 2});
+  // Throughput proportional to thread count (unsaturated pipe).
+  for (int i = 0; i < 60; ++i) {
+    const int t = tuner.suggest(0.0);
+    tuner.report(0.0, t, 100.0 * t);
+  }
+  EXPECT_GE(tuner.best_for_slot(0), 6);
+}
+
+TEST(ThreadTunerTest, StopsAtSaturation) {
+  ThreadTuner tuner({.slots_per_day = 1, .min_threads = 1, .max_threads = 16,
+                     .initial_threads = 2, .improvement_threshold = 0.05});
+  // Pipe saturates at 4 threads.
+  for (int i = 0; i < 120; ++i) {
+    const int t = tuner.suggest(0.0);
+    tuner.report(0.0, t, 100.0 * std::min(t, 4));
+  }
+  EXPECT_GE(tuner.best_for_slot(0), 3);
+  EXPECT_LE(tuner.best_for_slot(0), 5);
+}
+
+TEST(ThreadTunerTest, PrefersFewerThreadsAtEqualThroughput) {
+  ThreadTuner tuner({.slots_per_day = 1, .min_threads = 1, .max_threads = 16,
+                     .initial_threads = 8});
+  // Flat throughput: fewer connections should win over time.
+  for (int i = 0; i < 200; ++i) {
+    const int t = tuner.suggest(0.0);
+    tuner.report(0.0, t, 500.0);
+  }
+  EXPECT_LT(tuner.best_for_slot(0), 8);
+}
+
+TEST(ThreadTunerTest, SlotsAreIndependent) {
+  ThreadTuner tuner({.slots_per_day = 24, .min_threads = 1, .max_threads = 16,
+                     .initial_threads = 2});
+  for (int i = 0; i < 60; ++i) {
+    const int t = tuner.suggest(0.0);  // slot 0 only
+    tuner.report(0.0, t, 100.0 * t);
+  }
+  EXPECT_GE(tuner.best_for_slot(0), 4);
+  EXPECT_EQ(tuner.best_for_slot(12), 2);  // untouched slot keeps the initial
+}
+
+}  // namespace

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simcore/event_queue.hpp"
+#include "simcore/rng.hpp"
+#include "simcore/simulation.hpp"
+
+namespace {
+
+using cbs::sim::EventId;
+using cbs::sim::EventQueue;
+using cbs::sim::RngStream;
+using cbs::sim::Simulation;
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(3.0, [&] { fired.push_back(3); });
+  q.push(1.0, [&] { fired.push_back(1); });
+  q.push(2.0, [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, FifoTieBreakAtEqualTimes) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.push(5.0, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().callback();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueueTest, CancelRemovesPendingEvent) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.push(1.0, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelTwiceIsNoOp) {
+  EventQueue q;
+  const EventId id = q.push(1.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueTest, CancelFiredEventIsNoOp) {
+  EventQueue q;
+  const EventId id = q.push(1.0, [] {});
+  q.pop();
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueTest, CancelMiddleEventSkipsIt) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(1.0, [&] { fired.push_back(1); });
+  const EventId id = q.push(2.0, [&] { fired.push_back(2); });
+  q.push(3.0, [&] { fired.push_back(3); });
+  q.cancel(id);
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelledHead) {
+  EventQueue q;
+  const EventId id = q.push(1.0, [] {});
+  q.push(2.0, [] {});
+  q.cancel(id);
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+}
+
+TEST(SimulationTest, ClockAdvancesMonotonically) {
+  Simulation sim;
+  std::vector<double> times;
+  sim.schedule_at(5.0, [&] { times.push_back(sim.now()); });
+  sim.schedule_at(1.0, [&] { times.push_back(sim.now()); });
+  sim.schedule_at(3.0, [&] { times.push_back(sim.now()); });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 3.0, 5.0}));
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(SimulationTest, EventsCanScheduleMoreEvents) {
+  Simulation sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) sim.schedule_in(1.0, chain);
+  };
+  sim.schedule_in(1.0, chain);
+  sim.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(SimulationTest, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(10.0, [&] { ++fired; });
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, RunUntilFiresEventsExactlyAtDeadline) {
+  Simulation sim;
+  bool fired = false;
+  sim.schedule_at(5.0, [&] { fired = true; });
+  sim.run_until(5.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulationTest, StopHaltsTheLoop) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_at(2.0, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimulationTest, CancelledEventDoesNotFire) {
+  Simulation sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(1.0, [&] { fired = true; });
+  sim.schedule_at(0.5, [&] { sim.cancel(id); });
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulationTest, CountsProcessedEvents) {
+  Simulation sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(static_cast<double>(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+TEST(EventQueueTest, CancelInvalidIdIsNoOp) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(EventId{0}));
+  EXPECT_FALSE(q.cancel(EventId{9999}));
+  q.push(1.0, [] {});
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.push(1.0, [] {});
+  q.push(2.0, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop();
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.total_scheduled(), 2u);
+}
+
+TEST(SimulationTest, RunUntilAdvancesClockToDeadlineWhenIdle) {
+  Simulation sim;
+  sim.schedule_at(1.0, [] {});
+  sim.run_until(10.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);  // idle gap still advances the clock
+}
+
+TEST(RngStreamTest, DeterministicForSameSeed) {
+  RngStream a(123);
+  RngStream b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngStreamTest, DifferentSeedsDiffer) {
+  RngStream a(1);
+  RngStream b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngStreamTest, NamedSubstreamsAreIndependentAndStable) {
+  RngStream root(7);
+  RngStream s1 = root.substream("alpha");
+  RngStream s2 = root.substream("beta");
+  RngStream s1_again = root.substream("alpha");
+  EXPECT_EQ(s1.next(), s1_again.next());
+  EXPECT_NE(s1.next(), s2.next());
+}
+
+TEST(RngStreamTest, SubstreamDoesNotAdvanceParent) {
+  RngStream a(99);
+  RngStream b(99);
+  (void)a.substream("x");
+  (void)a.substream(42u);
+  EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngStreamTest, NextDoubleInUnitInterval) {
+  RngStream r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngStreamTest, UniformIntStaysInBounds) {
+  RngStream r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = r.uniform_int(10, 20);
+    EXPECT_GE(x, 10u);
+    EXPECT_LE(x, 20u);
+  }
+}
+
+TEST(RngStreamTest, UniformIntCoversRange) {
+  RngStream r(5);
+  std::vector<int> seen(5, 0);
+  for (int i = 0; i < 1000; ++i) ++seen[r.uniform_int(0, 4)];
+  for (int count : seen) EXPECT_GT(count, 100);
+}
+
+}  // namespace

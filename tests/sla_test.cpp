@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sla/job_outcome.hpp"
+#include "sla/metrics.hpp"
+#include "sla/oo_metric.hpp"
+#include "sla/report.hpp"
+#include "sla/slack.hpp"
+
+namespace {
+
+using namespace cbs::sla;
+
+JobOutcome outcome(std::uint64_t seq, double completed, double output_mb = 10.0,
+                   Placement placement = Placement::kInternal,
+                   std::size_t batch = 0, double arrival = 0.0,
+                   double service = 1.0) {
+  JobOutcome o;
+  o.seq_id = seq;
+  o.doc_id = seq;
+  o.batch_index = batch;
+  o.arrival = arrival;
+  o.scheduled = arrival;
+  o.completed = completed;
+  o.input_mb = output_mb;
+  o.output_mb = output_mb;
+  o.true_service_seconds = service;
+  o.placement = placement;
+  return o;
+}
+
+// ---- slack (Eq. 1-2) -------------------------------------------------------
+
+TEST(SlackTest, EmptyQueueFallsBack) {
+  EXPECT_DOUBLE_EQ(slack_time({}, 123.0), 123.0);
+}
+
+TEST(SlackTest, MaxOfPrecedingCompletions) {
+  EXPECT_DOUBLE_EQ(slack_time({10.0, 40.0, 25.0}, 0.0), 40.0);
+}
+
+TEST(SlackTest, RoundTripAddsComponents) {
+  EXPECT_DOUBLE_EQ(external_round_trip_finish(100.0, 10.0, 20.0, 5.0), 135.0);
+}
+
+TEST(SlackTest, SatisfiesSlackBoundary) {
+  EXPECT_TRUE(satisfies_slack(40.0, 40.0));
+  EXPECT_FALSE(satisfies_slack(40.001, 40.0));
+  EXPECT_FALSE(satisfies_slack(40.0, 40.0, 1.0));  // margin makes it fail
+  EXPECT_TRUE(satisfies_slack(35.0, 40.0, 5.0));
+}
+
+// ---- OO metric (Eq. 3-6) -----------------------------------------------------
+
+TEST(OoMetricTest, StrictOrderStopsAtFirstGap) {
+  // Jobs 1,2,4 complete by t=10; job 3 is missing.
+  std::vector<JobOutcome> outcomes = {
+      outcome(1, 2.0, 5.0), outcome(2, 4.0, 7.0), outcome(3, 50.0, 11.0),
+      outcome(4, 6.0, 13.0)};
+  OoMetricCalculator oo(outcomes);
+  const OoSample s = oo.sample_at(10.0, 0);
+  EXPECT_EQ(s.max_in_order, 2u);
+  EXPECT_DOUBLE_EQ(s.ordered_mb, 12.0);  // sizes of jobs 1 and 2
+  EXPECT_EQ(s.completed_count, 3u);
+}
+
+TEST(OoMetricTest, ToleranceAllowsGaps) {
+  std::vector<JobOutcome> outcomes = {
+      outcome(1, 2.0, 5.0), outcome(2, 4.0, 7.0), outcome(3, 50.0, 11.0),
+      outcome(4, 6.0, 13.0)};
+  OoMetricCalculator oo(outcomes);
+  // With t_l = 1: job 4 qualifies (one missing job with smaller id).
+  const OoSample s = oo.sample_at(10.0, 1);
+  EXPECT_EQ(s.max_in_order, 4u);
+  // Eq. 6: sum over completed jobs with id <= 4 -> 5 + 7 + 13.
+  EXPECT_DOUBLE_EQ(s.ordered_mb, 25.0);
+}
+
+TEST(OoMetricTest, NothingCompletedMeansZero) {
+  std::vector<JobOutcome> outcomes = {outcome(1, 100.0), outcome(2, 200.0)};
+  OoMetricCalculator oo(outcomes);
+  const OoSample s = oo.sample_at(50.0, 0);
+  EXPECT_EQ(s.max_in_order, 0u);
+  EXPECT_DOUBLE_EQ(s.ordered_mb, 0.0);
+}
+
+TEST(OoMetricTest, FirstJobMissingBlocksEverythingAtZeroTolerance) {
+  std::vector<JobOutcome> outcomes = {outcome(1, 100.0, 5.0),
+                                      outcome(2, 1.0, 7.0),
+                                      outcome(3, 2.0, 9.0)};
+  OoMetricCalculator oo(outcomes);
+  EXPECT_EQ(oo.sample_at(50.0, 0).max_in_order, 0u);
+  // t_l = 2 admits job 3 (two missing... id 3 - 2 <= |{2,3}| = 2: yes).
+  const OoSample s = oo.sample_at(50.0, 2);
+  EXPECT_EQ(s.max_in_order, 3u);
+  EXPECT_DOUBLE_EQ(s.ordered_mb, 16.0);
+}
+
+TEST(OoMetricTest, EventuallyAllOutputIsOrdered) {
+  std::vector<JobOutcome> outcomes = {
+      outcome(1, 30.0, 5.0), outcome(2, 10.0, 7.0), outcome(3, 20.0, 9.0)};
+  OoMetricCalculator oo(outcomes);
+  const OoSample s = oo.sample_at(100.0, 0);
+  EXPECT_EQ(s.max_in_order, 3u);
+  EXPECT_DOUBLE_EQ(s.ordered_mb, 21.0);
+}
+
+TEST(OoMetricTest, OrderedMbMonotoneInTolerance) {
+  std::vector<JobOutcome> outcomes;
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    outcomes.push_back(outcome(i, static_cast<double>((i * 7) % 20), 3.0));
+  }
+  OoMetricCalculator oo(outcomes);
+  for (double t = 0.0; t <= 20.0; t += 2.0) {
+    double prev = -1.0;
+    for (std::uint64_t tol = 0; tol <= 5; ++tol) {
+      const double mb = oo.sample_at(t, tol).ordered_mb;
+      EXPECT_GE(mb, prev) << "t=" << t << " tol=" << tol;
+      prev = mb;
+    }
+  }
+}
+
+TEST(OoMetricTest, OrderedMbMonotoneInTime) {
+  std::vector<JobOutcome> outcomes;
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    outcomes.push_back(outcome(i, static_cast<double>((i * 13) % 31), 3.0));
+  }
+  OoMetricCalculator oo(outcomes);
+  double prev = -1.0;
+  for (const auto& s : oo.series(1.0, 2)) {
+    EXPECT_GE(s.ordered_mb, prev);
+    prev = s.ordered_mb;
+  }
+}
+
+TEST(OoMetricTest, SeriesCoversRunAndEndsFlat) {
+  std::vector<JobOutcome> outcomes = {outcome(1, 95.0)};
+  OoMetricCalculator oo(outcomes);
+  const auto series = oo.series(10.0, 0);
+  EXPECT_GE(series.back().time, 95.0);
+  EXPECT_DOUBLE_EQ(series.back().ordered_mb, 10.0);
+}
+
+// ---- makespan / speedup / utilization / burst (Eq. 7-12) --------------------
+
+TEST(MetricsTest, MakespanSpansArrivalToLastCompletion) {
+  std::vector<JobOutcome> outcomes = {
+      outcome(1, 50.0, 1.0, Placement::kInternal, 0, 10.0),
+      outcome(2, 90.0, 1.0, Placement::kInternal, 0, 20.0)};
+  EXPECT_DOUBLE_EQ(makespan(outcomes), 80.0);
+}
+
+TEST(MetricsTest, MakespanEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(makespan({}), 0.0);
+}
+
+TEST(MetricsTest, SpeedupIsSequentialOverMakespan) {
+  std::vector<JobOutcome> outcomes = {
+      outcome(1, 10.0, 1.0, Placement::kInternal, 0, 0.0, 30.0),
+      outcome(2, 20.0, 1.0, Placement::kInternal, 0, 0.0, 50.0)};
+  EXPECT_DOUBLE_EQ(sequential_time(outcomes), 80.0);
+  EXPECT_DOUBLE_EQ(speedup(outcomes), 4.0);
+}
+
+TEST(MetricsTest, UtilizationFormulas) {
+  EXPECT_DOUBLE_EQ(machine_utilization(80.0, 100.0), 0.8);
+  EXPECT_DOUBLE_EQ(set_utilization(160.0, 2, 100.0), 0.8);
+  EXPECT_DOUBLE_EQ(set_utilization(0.0, 4, 100.0), 0.0);
+}
+
+TEST(MetricsTest, BurstRatioPerBatchAndOverall) {
+  std::vector<JobOutcome> outcomes = {
+      outcome(1, 1.0, 1.0, Placement::kInternal, 0),
+      outcome(2, 1.0, 1.0, Placement::kExternal, 0),
+      outcome(3, 1.0, 1.0, Placement::kExternal, 1),
+      outcome(4, 1.0, 1.0, Placement::kExternal, 1),
+      outcome(5, 1.0, 1.0, Placement::kInternal, 1),
+  };
+  const auto per_batch = burst_ratio_per_batch(outcomes);
+  EXPECT_DOUBLE_EQ(per_batch.at(0).ratio(), 0.5);
+  EXPECT_NEAR(per_batch.at(1).ratio(), 2.0 / 3.0, 1e-12);
+  // Eq. 12 reduces to total bursted / total jobs.
+  EXPECT_DOUBLE_EQ(burst_ratio(outcomes), 3.0 / 5.0);
+}
+
+TEST(MetricsTest, MeanTurnaround) {
+  std::vector<JobOutcome> outcomes = {
+      outcome(1, 30.0, 1.0, Placement::kInternal, 0, 10.0),
+      outcome(2, 50.0, 1.0, Placement::kInternal, 0, 10.0)};
+  EXPECT_DOUBLE_EQ(mean_turnaround(outcomes), 30.0);
+}
+
+// ---- orderliness ------------------------------------------------------------
+
+TEST(OrderlinessTest, PerfectOrderHasNoInversions) {
+  std::vector<JobOutcome> outcomes;
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    outcomes.push_back(outcome(i, static_cast<double>(i * 10)));
+  }
+  const auto stats = compute_orderliness(outcomes, 100.0);
+  EXPECT_EQ(stats.inversions, 0u);
+  EXPECT_DOUBLE_EQ(stats.max_frontier_push, 10.0);
+  EXPECT_EQ(stats.pushes_over_threshold, 0u);
+}
+
+TEST(OrderlinessTest, CountsInversionsExactly) {
+  // Completion order by seq: 30, 10, 20 -> pairs (1,2), (1,3) inverted.
+  std::vector<JobOutcome> outcomes = {outcome(1, 30.0), outcome(2, 10.0),
+                                      outcome(3, 20.0)};
+  const auto stats = compute_orderliness(outcomes, 1000.0);
+  EXPECT_EQ(stats.inversions, 2u);
+}
+
+TEST(OrderlinessTest, LateJobIsATallPeak) {
+  std::vector<JobOutcome> outcomes = {outcome(1, 10.0), outcome(2, 500.0),
+                                      outcome(3, 20.0), outcome(4, 30.0)};
+  const auto stats = compute_orderliness(outcomes, 120.0);
+  EXPECT_DOUBLE_EQ(stats.max_frontier_push, 490.0);
+  EXPECT_EQ(stats.pushes_over_threshold, 1u);
+}
+
+// ---- validation & report -------------------------------------------------
+
+TEST(ValidateTest, AcceptsWellFormedOutcomes) {
+  std::vector<JobOutcome> outcomes = {outcome(2, 5.0), outcome(1, 3.0)};
+  EXPECT_EQ(validate_outcomes(outcomes), "");
+}
+
+TEST(ValidateTest, DetectsMissingAndDuplicateIds) {
+  std::vector<JobOutcome> outcomes = {outcome(1, 5.0), outcome(1, 3.0)};
+  const std::string err = validate_outcomes(outcomes);
+  EXPECT_NE(err.find("duplicate"), std::string::npos);
+  EXPECT_NE(err.find("missing"), std::string::npos);
+}
+
+TEST(ValidateTest, DetectsTimeTravel) {
+  JobOutcome o = outcome(1, 5.0);
+  o.arrival = 10.0;  // completed before arrival
+  const std::string err = validate_outcomes({o});
+  EXPECT_NE(err.find("before arrival"), std::string::npos);
+}
+
+TEST(ValidateTest, DetectsOutOfRangeSeq) {
+  const std::string err = validate_outcomes({outcome(7, 5.0)});
+  EXPECT_NE(err.find("outside"), std::string::npos);
+}
+
+TEST(ReportTest, BuildComputesHeadlineNumbers) {
+  std::vector<JobOutcome> outcomes = {
+      outcome(1, 50.0, 20.0, Placement::kInternal, 0, 0.0, 40.0),
+      outcome(2, 100.0, 30.0, Placement::kExternal, 0, 0.0, 60.0)};
+  const SlaReport r = build_report("op", "uniform", outcomes,
+                                   /*ic busy*/ 160.0, /*ic machines*/ 2,
+                                   /*ec busy*/ 50.0, /*ec machines*/ 1,
+                                   /*oo interval*/ 10.0, /*tolerance*/ 0);
+  EXPECT_EQ(r.job_count, 2u);
+  EXPECT_DOUBLE_EQ(r.makespan_seconds, 100.0);
+  EXPECT_DOUBLE_EQ(r.speedup, 1.0);
+  EXPECT_DOUBLE_EQ(r.ic_utilization, 0.8);
+  EXPECT_DOUBLE_EQ(r.ec_utilization, 0.5);
+  EXPECT_DOUBLE_EQ(r.burst_ratio, 0.5);
+  EXPECT_DOUBLE_EQ(r.oo_final_mb, 50.0);
+  EXPECT_GT(r.oo_time_averaged_mb, 0.0);
+}
+
+TEST(ReportTest, FormatTableContainsAllRows) {
+  SlaReport a;
+  a.scheduler = "greedy";
+  a.bucket = "large";
+  SlaReport b;
+  b.scheduler = "op";
+  b.bucket = "uniform";
+  const std::string table = format_table({a, b});
+  EXPECT_NE(table.find("greedy"), std::string::npos);
+  EXPECT_NE(table.find("uniform"), std::string::npos);
+  EXPECT_NE(table.find("scheduler"), std::string::npos);
+}
+
+}  // namespace

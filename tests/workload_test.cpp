@@ -1,0 +1,446 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "simcore/simulation.hpp"
+#include "stats/summary.hpp"
+#include "workload/arrival.hpp"
+#include "workload/chunker.hpp"
+#include "workload/document.hpp"
+#include "workload/generator.hpp"
+#include "workload/ground_truth.hpp"
+#include "workload/seasonal.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace cbs::workload;
+using cbs::sim::RngStream;
+
+GroundTruthModel make_truth(double sigma = 0.18) {
+  GroundTruthModel::Config cfg;
+  cfg.noise_sigma = sigma;
+  return GroundTruthModel(cfg, RngStream(77));
+}
+
+// ---- GroundTruthModel ------------------------------------------------
+
+TEST(GroundTruthTest, ExpectedSecondsMonotoneInSize) {
+  const auto truth = make_truth();
+  DocumentFeatures small;
+  small.size_mb = 10.0;
+  DocumentFeatures large = small;
+  large.size_mb = 200.0;
+  EXPECT_LT(truth.expected_seconds(small), truth.expected_seconds(large));
+}
+
+TEST(GroundTruthTest, NoiseFreeIsDeterministic) {
+  auto truth = make_truth(0.0);
+  DocumentFeatures f;
+  f.size_mb = 50.0;
+  EXPECT_DOUBLE_EQ(truth.sample_seconds(f), truth.expected_seconds(f));
+  EXPECT_DOUBLE_EQ(truth.sample_seconds(f), truth.sample_seconds(f));
+}
+
+TEST(GroundTruthTest, NoiseIsUnbiased) {
+  auto truth = make_truth(0.3);
+  DocumentFeatures f;
+  f.size_mb = 100.0;
+  cbs::stats::Summary s;
+  for (int i = 0; i < 20000; ++i) s.add(truth.sample_seconds(f));
+  EXPECT_NEAR(s.mean() / truth.expected_seconds(f), 1.0, 0.02);
+}
+
+TEST(GroundTruthTest, RealizedSecondsDeterministicPerDocument) {
+  const auto truth = make_truth();
+  Document doc;
+  doc.doc_id = 42;
+  doc.features.size_mb = 80.0;
+  EXPECT_DOUBLE_EQ(truth.realized_seconds(doc), truth.realized_seconds(doc));
+  Document other = doc;
+  other.doc_id = 43;
+  EXPECT_NE(truth.realized_seconds(doc), truth.realized_seconds(other));
+}
+
+TEST(GroundTruthTest, RealizedSecondsChunkKeyedByParentAndIndex) {
+  const auto truth = make_truth();
+  Document chunk;
+  chunk.doc_id = 1000;  // fresh id — must NOT influence the draw
+  chunk.parent_id = 5;
+  chunk.chunk_index = 2;
+  chunk.chunk_count = 4;
+  chunk.features.size_mb = 60.0;
+  Document same_chunk_other_id = chunk;
+  same_chunk_other_id.doc_id = 2000;
+  EXPECT_DOUBLE_EQ(truth.realized_seconds(chunk),
+                   truth.realized_seconds(same_chunk_other_id));
+}
+
+TEST(GroundTruthTest, OutputSizeScalesWithInput) {
+  const auto truth = make_truth();
+  DocumentFeatures f;
+  f.size_mb = 100.0;
+  f.pages = 50;
+  f.type = JobType::kBook;
+  const double out = truth.output_size_mb(f);
+  EXPECT_GT(out, 0.0);
+  EXPECT_NEAR(out, 70.0, 5.0);  // book ratio 0.7 plus page overlay
+}
+
+TEST(GroundTruthTest, OutputRatioVariesByType) {
+  const auto truth = make_truth();
+  DocumentFeatures f;
+  f.size_mb = 100.0;
+  f.pages = 10;
+  f.type = JobType::kImagePersonalization;
+  const double img = truth.output_size_mb(f);
+  f.type = JobType::kCreditCardStatement;
+  const double stmt = truth.output_size_mb(f);
+  EXPECT_GT(img, stmt);
+}
+
+// ---- WorkloadGenerator -------------------------------------------------
+
+TEST(GeneratorTest, SizesStayInRange) {
+  const auto truth = make_truth();
+  for (SizeBucket bucket :
+       {SizeBucket::kSmallBiased, SizeBucket::kUniform, SizeBucket::kLargeBiased}) {
+    WorkloadGenerator gen({.bucket = bucket}, truth, RngStream(1));
+    for (int i = 0; i < 500; ++i) {
+      const Document d = gen.next();
+      EXPECT_GE(d.features.size_mb, 1.0);
+      EXPECT_LE(d.features.size_mb, 300.0);
+    }
+  }
+}
+
+TEST(GeneratorTest, BucketsAreOrderedByMeanSize) {
+  const auto truth = make_truth();
+  auto mean_size = [&](SizeBucket bucket) {
+    WorkloadGenerator gen({.bucket = bucket}, truth, RngStream(9));
+    cbs::stats::Summary s;
+    for (int i = 0; i < 3000; ++i) s.add(gen.next().features.size_mb);
+    return s.mean();
+  };
+  const double small = mean_size(SizeBucket::kSmallBiased);
+  const double uniform = mean_size(SizeBucket::kUniform);
+  const double large = mean_size(SizeBucket::kLargeBiased);
+  EXPECT_LT(small, uniform - 40.0);
+  EXPECT_GT(large, uniform + 40.0);
+  EXPECT_NEAR(uniform, 150.5, 8.0);
+}
+
+TEST(GeneratorTest, FeaturesArePhysicallyConsistent) {
+  const auto truth = make_truth();
+  WorkloadGenerator gen({}, truth, RngStream(2));
+  for (int i = 0; i < 500; ++i) {
+    const Document d = gen.next();
+    EXPECT_GE(d.features.pages, 1);
+    EXPECT_GE(d.features.num_images, 0);
+    EXPECT_GT(d.features.resolution_dpi, 0.0);
+    EXPECT_GE(d.features.color_fraction, 0.0);
+    EXPECT_LE(d.features.color_fraction, 1.0);
+    EXPECT_GE(d.features.coverage, 0.0);
+    EXPECT_LE(d.features.coverage, 1.0);
+    EXPECT_GT(d.output_size_mb, 0.0);
+  }
+}
+
+TEST(GeneratorTest, IdsAreSequential) {
+  const auto truth = make_truth();
+  WorkloadGenerator gen({}, truth, RngStream(3));
+  EXPECT_EQ(gen.next().doc_id, 1u);
+  EXPECT_EQ(gen.next().doc_id, 2u);
+  const auto batch = gen.batch(3);
+  EXPECT_EQ(batch[2].doc_id, 5u);
+  EXPECT_EQ(gen.documents_generated(), 5u);
+}
+
+TEST(GeneratorTest, DeterministicPerSeed) {
+  const auto truth = make_truth();
+  WorkloadGenerator a({}, truth, RngStream(4));
+  WorkloadGenerator b({}, truth, RngStream(4));
+  for (int i = 0; i < 100; ++i) {
+    const Document da = a.next();
+    const Document db = b.next();
+    EXPECT_DOUBLE_EQ(da.features.size_mb, db.features.size_mb);
+    EXPECT_EQ(da.features.pages, db.features.pages);
+    EXPECT_EQ(da.features.type, db.features.type);
+  }
+}
+
+// ---- PdfChunker ---------------------------------------------------------
+
+TEST(ChunkerTest, SmallDocumentIsNotSplit) {
+  const auto truth = make_truth();
+  PdfChunker chunker({.target_size_mb = 100.0});
+  Document doc;
+  doc.doc_id = 10;
+  doc.features.size_mb = 50.0;
+  doc.features.pages = 20;
+  std::uint64_t next_id = 1000;
+  const auto chunks = chunker.chunk(doc, truth, &next_id);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].parent_id, 10u);
+  EXPECT_EQ(chunks[0].doc_id, 1000u);
+  EXPECT_EQ(next_id, 1001u);
+}
+
+TEST(ChunkerTest, ChunkCountMatchesTarget) {
+  PdfChunker chunker({.target_size_mb = 60.0});
+  EXPECT_EQ(chunker.chunk_count_for(59.0), 1);
+  EXPECT_EQ(chunker.chunk_count_for(61.0), 2);
+  EXPECT_EQ(chunker.chunk_count_for(300.0), 5);
+}
+
+TEST(ChunkerTest, MaxChunksCapsSplit) {
+  PdfChunker chunker({.target_size_mb = 1.0, .max_chunks = 4});
+  EXPECT_EQ(chunker.chunk_count_for(300.0), 4);
+}
+
+TEST(ChunkerTest, SizesSumToOriginalPlusOverhead) {
+  const auto truth = make_truth();
+  PdfChunker chunker({.target_size_mb = 60.0, .per_chunk_overhead_mb = 0.5});
+  Document doc;
+  doc.doc_id = 1;
+  doc.features.size_mb = 290.0;
+  doc.features.pages = 100;
+  doc.features.num_images = 40;
+  std::uint64_t next_id = 100;
+  const auto chunks = chunker.chunk(doc, truth, &next_id);
+  ASSERT_EQ(chunks.size(), 5u);
+  double total_mb = 0.0;
+  int total_pages = 0;
+  int total_images = 0;
+  for (const auto& c : chunks) {
+    total_mb += c.features.size_mb;
+    total_pages += c.features.pages;
+    total_images += c.features.num_images;
+    EXPECT_EQ(c.parent_id, 1u);
+    EXPECT_EQ(c.chunk_count, 5);
+  }
+  EXPECT_NEAR(total_mb, 290.0 + 5 * 0.5, 1e-9);
+  EXPECT_EQ(total_pages, 100);
+  EXPECT_EQ(total_images, 40);
+}
+
+TEST(ChunkerTest, ChunkIndicesAreSequential) {
+  const auto truth = make_truth();
+  PdfChunker chunker({.target_size_mb = 50.0});
+  Document doc;
+  doc.doc_id = 1;
+  doc.features.size_mb = 140.0;
+  doc.features.pages = 12;
+  std::uint64_t next_id = 1;
+  const auto chunks = chunker.chunk(doc, truth, &next_id);
+  ASSERT_EQ(chunks.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(chunks[static_cast<std::size_t>(i)].chunk_index, i);
+  }
+}
+
+TEST(ChunkerTest, InheritsPerDocumentProperties) {
+  const auto truth = make_truth();
+  PdfChunker chunker({.target_size_mb = 50.0});
+  Document doc;
+  doc.doc_id = 1;
+  doc.features.size_mb = 120.0;
+  doc.features.pages = 10;
+  doc.features.resolution_dpi = 1200.0;
+  doc.features.color_fraction = 0.9;
+  doc.features.type = JobType::kMarketingMaterial;
+  std::uint64_t next_id = 1;
+  for (const auto& c : chunker.chunk(doc, truth, &next_id)) {
+    EXPECT_DOUBLE_EQ(c.features.resolution_dpi, 1200.0);
+    EXPECT_DOUBLE_EQ(c.features.color_fraction, 0.9);
+    EXPECT_EQ(c.features.type, JobType::kMarketingMaterial);
+  }
+}
+
+// ---- BatchArrivalProcess ------------------------------------------------
+
+TEST(ArrivalTest, BatchTimesAreOnTheGrid) {
+  auto truth = make_truth();
+  WorkloadGenerator gen({}, truth, RngStream(5));
+  BatchArrivalProcess arrivals({.batch_interval = 180.0, .num_batches = 5},
+                               gen, RngStream(6));
+  const auto batches = arrivals.generate_all();
+  ASSERT_EQ(batches.size(), 5u);
+  for (std::size_t b = 0; b < 5; ++b) {
+    EXPECT_DOUBLE_EQ(batches[b].arrival_time, 180.0 * static_cast<double>(b));
+    EXPECT_EQ(batches[b].batch_index, b);
+    EXPECT_FALSE(batches[b].documents.empty());
+  }
+}
+
+TEST(ArrivalTest, PoissonCountsAverageLambda) {
+  auto truth = make_truth();
+  WorkloadGenerator gen({}, truth, RngStream(7));
+  BatchArrivalProcess arrivals(
+      {.mean_jobs_per_batch = 15.0, .num_batches = 400}, gen, RngStream(8));
+  cbs::stats::Summary s;
+  for (const auto& b : arrivals.generate_all()) {
+    s.add(static_cast<double>(b.documents.size()));
+  }
+  EXPECT_NEAR(s.mean(), 15.0, 0.7);
+}
+
+TEST(ArrivalTest, ScheduleOnFiresAtArrivalTimes) {
+  auto truth = make_truth();
+  WorkloadGenerator gen({}, truth, RngStream(9));
+  BatchArrivalProcess arrivals({.batch_interval = 100.0, .num_batches = 3},
+                               gen, RngStream(10));
+  cbs::sim::Simulation sim;
+  std::vector<double> fired_at;
+  const auto schedule = arrivals.schedule_on(
+      sim, [&](const Batch& batch) {
+        fired_at.push_back(batch.arrival_time);
+      });
+  sim.run();
+  ASSERT_EQ(fired_at.size(), 3u);
+  EXPECT_DOUBLE_EQ(fired_at[1], 100.0);
+  EXPECT_EQ(schedule.size(), 3u);
+}
+
+// ---- SeasonalArrivalProcess ------------------------------------------------
+
+TEST(SeasonalTest, BusinessDayShape) {
+  const auto day = SeasonalArrivalProcess::business_day();
+  using cbs::sim::kHour;
+  EXPECT_LT(day(3.0 * kHour), 0.1);                   // overnight quiet
+  EXPECT_GT(day(15.0 * kHour), day(10.0 * kHour));    // afternoon peak
+  EXPECT_LT(day(12.5 * kHour), day(11.0 * kHour));    // lunch dip
+  EXPECT_LT(day(23.0 * kHour), 0.2);
+}
+
+TEST(SeasonalTest, BusinessWeekQuietWeekends) {
+  const auto week = SeasonalArrivalProcess::business_week();
+  using cbs::sim::kDay;
+  using cbs::sim::kHour;
+  const double monday_noon = 0.0 * kDay + 11.0 * kHour;
+  const double saturday_noon = 5.0 * kDay + 11.0 * kHour;
+  EXPECT_GT(week(monday_noon), 5.0 * week(saturday_noon));
+}
+
+TEST(SeasonalTest, BatchSizesFollowIntensity) {
+  auto truth = make_truth();
+  WorkloadGenerator gen({}, truth, RngStream(20));
+  // Horizon: one day of 3-minute slots.
+  SeasonalArrivalProcess arrivals(
+      {.batch_interval = 180.0, .base_jobs_per_batch = 20.0,
+       .num_batches = 480},
+      SeasonalArrivalProcess::business_day(), gen, RngStream(21));
+  const auto batches = arrivals.generate_all();
+  double night_jobs = 0.0;
+  double afternoon_jobs = 0.0;
+  int night_slots = 0;
+  int afternoon_slots = 0;
+  for (const auto& b : batches) {
+    const double hour = b.arrival_time / cbs::sim::kHour;
+    if (hour < 5.0) {
+      night_jobs += static_cast<double>(b.documents.size());
+      ++night_slots;
+    } else if (hour >= 13.0 && hour < 17.0) {
+      afternoon_jobs += static_cast<double>(b.documents.size());
+      ++afternoon_slots;
+    }
+  }
+  ASSERT_GT(afternoon_slots, 0);
+  const double afternoon_mean = afternoon_jobs / afternoon_slots;
+  EXPECT_NEAR(afternoon_mean, 24.0, 3.0);  // 20 * 1.2
+  // Night slots are mostly skipped entirely (Poisson(1) often draws 0).
+  EXPECT_LT(night_jobs, 0.1 * afternoon_jobs);
+}
+
+TEST(SeasonalTest, BatchIndicesAreDense) {
+  auto truth = make_truth();
+  WorkloadGenerator gen({}, truth, RngStream(22));
+  SeasonalArrivalProcess arrivals(
+      {.batch_interval = 180.0, .base_jobs_per_batch = 2.0, .num_batches = 100},
+      SeasonalArrivalProcess::business_day(), gen, RngStream(23));
+  const auto batches = arrivals.generate_all();
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    EXPECT_EQ(batches[i].batch_index, i);
+    EXPECT_FALSE(batches[i].documents.empty());
+  }
+}
+
+TEST(SeasonalTest, ScheduleOnFiresInOrder) {
+  auto truth = make_truth();
+  WorkloadGenerator gen({}, truth, RngStream(24));
+  SeasonalArrivalProcess arrivals(
+      {.batch_interval = 100.0, .base_jobs_per_batch = 10.0, .num_batches = 20},
+      [](double) { return 1.0; }, gen, RngStream(25));
+  cbs::sim::Simulation sim;
+  double last = -1.0;
+  const auto schedule = arrivals.schedule_on(sim, [&](const Batch& b) {
+    EXPECT_GT(b.arrival_time, last);
+    last = b.arrival_time;
+  });
+  sim.run();
+  EXPECT_FALSE(schedule.empty());
+}
+
+// ---- trace I/O ------------------------------------------------------------
+
+TEST(TraceTest, RoundTripPreservesEverything) {
+  auto truth = make_truth();
+  WorkloadGenerator gen({}, truth, RngStream(11));
+  BatchArrivalProcess arrivals({.num_batches = 3}, gen, RngStream(12));
+  const auto original = arrivals.generate_all();
+  const auto copy = trace::round_trip(original);
+  ASSERT_EQ(copy.size(), original.size());
+  for (std::size_t b = 0; b < original.size(); ++b) {
+    ASSERT_EQ(copy[b].documents.size(), original[b].documents.size());
+    EXPECT_DOUBLE_EQ(copy[b].arrival_time, original[b].arrival_time);
+    for (std::size_t i = 0; i < original[b].documents.size(); ++i) {
+      const Document& a = original[b].documents[i];
+      const Document& c = copy[b].documents[i];
+      EXPECT_EQ(a.doc_id, c.doc_id);
+      EXPECT_DOUBLE_EQ(a.features.size_mb, c.features.size_mb);
+      EXPECT_EQ(a.features.pages, c.features.pages);
+      EXPECT_EQ(a.features.type, c.features.type);
+      EXPECT_DOUBLE_EQ(a.output_size_mb, c.output_size_mb);
+    }
+  }
+}
+
+TEST(TraceTest, RejectsBadHeader) {
+  std::istringstream in("not,a,header\n");
+  EXPECT_THROW((void)trace::read(in), std::runtime_error);
+}
+
+TEST(TraceTest, RejectsWrongColumnCount) {
+  std::istringstream in(
+      "batch,arrival_time,doc_id,type,size_mb,pages,num_images,avg_image_mb,"
+      "resolution_dpi,color_fraction,text_ratio,coverage,output_size_mb\n"
+      "0,0,1,book,10\n");
+  EXPECT_THROW((void)trace::read(in), std::runtime_error);
+}
+
+TEST(TraceTest, RejectsUnknownJobType) {
+  std::istringstream in(
+      "batch,arrival_time,doc_id,type,size_mb,pages,num_images,avg_image_mb,"
+      "resolution_dpi,color_fraction,text_ratio,coverage,output_size_mb\n"
+      "0,0,1,frisbee,10,1,0,0,300,0,1,0.5,8\n");
+  EXPECT_THROW((void)trace::read(in), std::runtime_error);
+}
+
+TEST(TraceTest, RejectsMalformedNumber) {
+  std::istringstream in(
+      "batch,arrival_time,doc_id,type,size_mb,pages,num_images,avg_image_mb,"
+      "resolution_dpi,color_fraction,text_ratio,coverage,output_size_mb\n"
+      "0,0,1,book,10x,1,0,0,300,0,1,0.5,8\n");
+  EXPECT_THROW((void)trace::read(in), std::runtime_error);
+}
+
+TEST(TraceTest, WriteReportsRowCount) {
+  auto truth = make_truth();
+  WorkloadGenerator gen({}, truth, RngStream(13));
+  std::vector<Batch> batches(1);
+  batches[0].documents = gen.batch(7);
+  std::ostringstream out;
+  EXPECT_EQ(trace::write(out, batches), 7u);
+}
+
+}  // namespace

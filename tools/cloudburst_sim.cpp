@@ -1,0 +1,95 @@
+// cloudburst_sim — run one cloud-bursting scenario from the command line
+// and print the full SLA/economics report, optionally emitting CSV series.
+//
+//   cloudburst_sim --scheduler=order-preserving --bucket=large --seed=7
+//   cloudburst_sim --scheduler=greedy --high-var --csv=oo > oo.csv
+//   cloudburst_sim --elastic --batches=12 --lambda=20 --csv=completion
+//
+// Flags: --scheduler (ic-only|greedy|order-preserving|op-bandwidth-split)
+//        --bucket (small|uniform|large)   --seed N       --batches N
+//        --lambda J/batch   --interval s  --high-var     --rescheduler
+//        --elastic          --estimator (qrsm|oracle|per-class)
+//        --tolerance t_l    --oo-interval s   --noise sigma
+//        --csv (report|completion|oo)
+#include <cstdio>
+#include <exception>
+#include <iostream>
+
+#include "harness/cli.hpp"
+#include "harness/csv.hpp"
+#include "harness/experiment.hpp"
+#include "sla/metrics.hpp"
+#include "sla/report.hpp"
+
+namespace {
+
+void print_usage() {
+  std::printf(
+      "usage: cloudburst_sim [--scheduler S] [--bucket B] [--seed N]\n"
+      "                      [--batches N] [--lambda J] [--interval s]\n"
+      "                      [--high-var] [--rescheduler] [--elastic]\n"
+      "                      [--estimator qrsm|oracle|per-class]\n"
+      "                      [--tolerance t] [--oo-interval s] [--noise sig]\n"
+      "                      [--csv report|completion|oo]\n"
+      "schedulers: ic-only greedy order-preserving op-bandwidth-split\n"
+      "buckets:    small uniform large\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cbs;
+  try {
+    const harness::cli::Args args(argc, argv, harness::cli::scenario_flags());
+    if (args.has("help")) {
+      print_usage();
+      return 0;
+    }
+    const harness::Scenario scenario = harness::cli::scenario_from_args(args);
+    const harness::RunResult result = harness::run_scenario(scenario);
+
+    const std::string csv = args.get_or("csv", "");
+    if (csv == "completion") {
+      harness::csv::write_completion_series(std::cout, result);
+      return 0;
+    }
+    if (csv == "oo") {
+      harness::csv::write_oo_series(std::cout, result);
+      return 0;
+    }
+    if (csv == "report") {
+      harness::csv::write_reports(std::cout, {result});
+      return 0;
+    }
+    if (!csv.empty()) {
+      std::fprintf(stderr, "unknown --csv mode: %s\n", csv.c_str());
+      return 2;
+    }
+
+    std::printf("scenario: %s (seed %llu, %zu batches)\n",
+                scenario.name.c_str(),
+                static_cast<unsigned long long>(scenario.seed),
+                scenario.num_batches);
+    std::printf("%s\n", sla::format_table({result.report}).c_str());
+    const auto orderliness = sla::compute_orderliness(result.outcomes, 120.0);
+    std::printf("ordering: %zu inversions, p95 frontier push %.1fs, "
+                "max %.1fs\n",
+                orderliness.inversions, orderliness.p95_frontier_push,
+                orderliness.max_frontier_push);
+    std::printf("tickets:  %.0f%% met (p95 lateness %.0fs, worst %.0fs)\n",
+                result.tickets.hit_rate * 100.0, result.tickets.p95_lateness,
+                result.tickets.max_lateness);
+    std::printf("billing:  %s\n", result.cost.to_string().c_str());
+    std::printf("engine:   %zu events, %.1f simulated minutes\n",
+                result.events_processed, result.sim_end_time / 60.0);
+    if (result.pull_backs + result.push_outs > 0) {
+      std::printf("resched:  %zu pull-backs, %zu push-outs\n",
+                  result.pull_backs, result.push_outs);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    print_usage();
+    return 2;
+  }
+}
