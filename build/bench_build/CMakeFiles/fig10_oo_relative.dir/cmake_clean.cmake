@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_oo_relative"
+  "../bench/fig10_oo_relative.pdb"
+  "CMakeFiles/fig10_oo_relative.dir/fig10_oo_relative.cpp.o"
+  "CMakeFiles/fig10_oo_relative.dir/fig10_oo_relative.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_oo_relative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_qrsm"
+  "../bench/fig3_qrsm.pdb"
+  "CMakeFiles/fig3_qrsm.dir/fig3_qrsm.cpp.o"
+  "CMakeFiles/fig3_qrsm.dir/fig3_qrsm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_qrsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_makespan"
+  "../bench/fig6_makespan.pdb"
+  "CMakeFiles/fig6_makespan.dir/fig6_makespan.cpp.o"
+  "CMakeFiles/fig6_makespan.dir/fig6_makespan.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_makespan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_completion"
+  "../bench/fig7_completion.pdb"
+  "CMakeFiles/fig7_completion.dir/fig7_completion.cpp.o"
+  "CMakeFiles/fig7_completion.dir/fig7_completion.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_completion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

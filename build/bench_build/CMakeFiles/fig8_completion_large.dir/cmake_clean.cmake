@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_completion_large"
+  "../bench/fig8_completion_large.pdb"
+  "CMakeFiles/fig8_completion_large.dir/fig8_completion_large.cpp.o"
+  "CMakeFiles/fig8_completion_large.dir/fig8_completion_large.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_completion_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_oo_metric"
+  "../bench/fig9_oo_metric.pdb"
+  "CMakeFiles/fig9_oo_metric.dir/fig9_oo_metric.cpp.o"
+  "CMakeFiles/fig9_oo_metric.dir/fig9_oo_metric.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_oo_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/multi_cloud"
+  "../bench/multi_cloud.pdb"
+  "CMakeFiles/multi_cloud.dir/multi_cloud.cpp.o"
+  "CMakeFiles/multi_cloud.dir/multi_cloud.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/opt_bwsplit"
+  "../bench/opt_bwsplit.pdb"
+  "CMakeFiles/opt_bwsplit.dir/opt_bwsplit.cpp.o"
+  "CMakeFiles/opt_bwsplit.dir/opt_bwsplit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_bwsplit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/academic_mix.dir/academic_mix.cpp.o"
+  "CMakeFiles/academic_mix.dir/academic_mix.cpp.o.d"
+  "academic_mix"
+  "academic_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/academic_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

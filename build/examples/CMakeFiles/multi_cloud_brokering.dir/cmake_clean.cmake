@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_cloud_brokering.dir/multi_cloud_brokering.cpp.o"
+  "CMakeFiles/multi_cloud_brokering.dir/multi_cloud_brokering.cpp.o.d"
+  "multi_cloud_brokering"
+  "multi_cloud_brokering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_cloud_brokering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

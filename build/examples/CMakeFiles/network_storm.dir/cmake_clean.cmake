@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_storm.dir/network_storm.cpp.o"
+  "CMakeFiles/network_storm.dir/network_storm.cpp.o.d"
+  "network_storm"
+  "network_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbs_compute.dir/cluster.cpp.o"
+  "CMakeFiles/cbs_compute.dir/cluster.cpp.o.d"
+  "CMakeFiles/cbs_compute.dir/job_store.cpp.o"
+  "CMakeFiles/cbs_compute.dir/job_store.cpp.o.d"
+  "CMakeFiles/cbs_compute.dir/mapreduce.cpp.o"
+  "CMakeFiles/cbs_compute.dir/mapreduce.cpp.o.d"
+  "libcbs_compute.a"
+  "libcbs_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbs_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

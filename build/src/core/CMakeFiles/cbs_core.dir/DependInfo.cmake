@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bandwidth_split.cpp" "src/core/CMakeFiles/cbs_core.dir/bandwidth_split.cpp.o" "gcc" "src/core/CMakeFiles/cbs_core.dir/bandwidth_split.cpp.o.d"
+  "/root/repo/src/core/belief_state.cpp" "src/core/CMakeFiles/cbs_core.dir/belief_state.cpp.o" "gcc" "src/core/CMakeFiles/cbs_core.dir/belief_state.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/cbs_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/cbs_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/cbs_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/cbs_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/greedy_scheduler.cpp" "src/core/CMakeFiles/cbs_core.dir/greedy_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/cbs_core.dir/greedy_scheduler.cpp.o.d"
+  "/root/repo/src/core/job.cpp" "src/core/CMakeFiles/cbs_core.dir/job.cpp.o" "gcc" "src/core/CMakeFiles/cbs_core.dir/job.cpp.o.d"
+  "/root/repo/src/core/multi_cloud.cpp" "src/core/CMakeFiles/cbs_core.dir/multi_cloud.cpp.o" "gcc" "src/core/CMakeFiles/cbs_core.dir/multi_cloud.cpp.o.d"
+  "/root/repo/src/core/order_preserving_scheduler.cpp" "src/core/CMakeFiles/cbs_core.dir/order_preserving_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/cbs_core.dir/order_preserving_scheduler.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/cbs_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/cbs_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/upload_queues.cpp" "src/core/CMakeFiles/cbs_core.dir/upload_queues.cpp.o" "gcc" "src/core/CMakeFiles/cbs_core.dir/upload_queues.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/cbs_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cbs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cbs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/compute/CMakeFiles/cbs_compute.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cbs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/cbs_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/sla/CMakeFiles/cbs_sla.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/cbs_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

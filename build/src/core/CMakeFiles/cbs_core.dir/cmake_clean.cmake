@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbs_core.dir/bandwidth_split.cpp.o"
+  "CMakeFiles/cbs_core.dir/bandwidth_split.cpp.o.d"
+  "CMakeFiles/cbs_core.dir/belief_state.cpp.o"
+  "CMakeFiles/cbs_core.dir/belief_state.cpp.o.d"
+  "CMakeFiles/cbs_core.dir/config.cpp.o"
+  "CMakeFiles/cbs_core.dir/config.cpp.o.d"
+  "CMakeFiles/cbs_core.dir/controller.cpp.o"
+  "CMakeFiles/cbs_core.dir/controller.cpp.o.d"
+  "CMakeFiles/cbs_core.dir/greedy_scheduler.cpp.o"
+  "CMakeFiles/cbs_core.dir/greedy_scheduler.cpp.o.d"
+  "CMakeFiles/cbs_core.dir/job.cpp.o"
+  "CMakeFiles/cbs_core.dir/job.cpp.o.d"
+  "CMakeFiles/cbs_core.dir/multi_cloud.cpp.o"
+  "CMakeFiles/cbs_core.dir/multi_cloud.cpp.o.d"
+  "CMakeFiles/cbs_core.dir/order_preserving_scheduler.cpp.o"
+  "CMakeFiles/cbs_core.dir/order_preserving_scheduler.cpp.o.d"
+  "CMakeFiles/cbs_core.dir/scheduler.cpp.o"
+  "CMakeFiles/cbs_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/cbs_core.dir/upload_queues.cpp.o"
+  "CMakeFiles/cbs_core.dir/upload_queues.cpp.o.d"
+  "libcbs_core.a"
+  "libcbs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbs_harness.dir/cli.cpp.o"
+  "CMakeFiles/cbs_harness.dir/cli.cpp.o.d"
+  "CMakeFiles/cbs_harness.dir/csv.cpp.o"
+  "CMakeFiles/cbs_harness.dir/csv.cpp.o.d"
+  "CMakeFiles/cbs_harness.dir/experiment.cpp.o"
+  "CMakeFiles/cbs_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/cbs_harness.dir/plot.cpp.o"
+  "CMakeFiles/cbs_harness.dir/plot.cpp.o.d"
+  "CMakeFiles/cbs_harness.dir/scenario.cpp.o"
+  "CMakeFiles/cbs_harness.dir/scenario.cpp.o.d"
+  "libcbs_harness.a"
+  "libcbs_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbs_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

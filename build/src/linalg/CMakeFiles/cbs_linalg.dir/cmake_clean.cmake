@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbs_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/cbs_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/cbs_linalg.dir/least_squares.cpp.o"
+  "CMakeFiles/cbs_linalg.dir/least_squares.cpp.o.d"
+  "CMakeFiles/cbs_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/cbs_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/cbs_linalg.dir/qr.cpp.o"
+  "CMakeFiles/cbs_linalg.dir/qr.cpp.o.d"
+  "libcbs_linalg.a"
+  "libcbs_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbs_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

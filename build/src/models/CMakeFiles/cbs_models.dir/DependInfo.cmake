@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/estimator.cpp" "src/models/CMakeFiles/cbs_models.dir/estimator.cpp.o" "gcc" "src/models/CMakeFiles/cbs_models.dir/estimator.cpp.o.d"
+  "/root/repo/src/models/feature_vector.cpp" "src/models/CMakeFiles/cbs_models.dir/feature_vector.cpp.o" "gcc" "src/models/CMakeFiles/cbs_models.dir/feature_vector.cpp.o.d"
+  "/root/repo/src/models/per_class_qrsm.cpp" "src/models/CMakeFiles/cbs_models.dir/per_class_qrsm.cpp.o" "gcc" "src/models/CMakeFiles/cbs_models.dir/per_class_qrsm.cpp.o.d"
+  "/root/repo/src/models/qrsm.cpp" "src/models/CMakeFiles/cbs_models.dir/qrsm.cpp.o" "gcc" "src/models/CMakeFiles/cbs_models.dir/qrsm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/cbs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cbs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/cbs_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cbs_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

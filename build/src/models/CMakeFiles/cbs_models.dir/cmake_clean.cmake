@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbs_models.dir/estimator.cpp.o"
+  "CMakeFiles/cbs_models.dir/estimator.cpp.o.d"
+  "CMakeFiles/cbs_models.dir/feature_vector.cpp.o"
+  "CMakeFiles/cbs_models.dir/feature_vector.cpp.o.d"
+  "CMakeFiles/cbs_models.dir/per_class_qrsm.cpp.o"
+  "CMakeFiles/cbs_models.dir/per_class_qrsm.cpp.o.d"
+  "CMakeFiles/cbs_models.dir/qrsm.cpp.o"
+  "CMakeFiles/cbs_models.dir/qrsm.cpp.o.d"
+  "libcbs_models.a"
+  "libcbs_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbs_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

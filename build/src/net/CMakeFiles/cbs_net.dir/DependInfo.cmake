@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/bandwidth_estimator.cpp" "src/net/CMakeFiles/cbs_net.dir/bandwidth_estimator.cpp.o" "gcc" "src/net/CMakeFiles/cbs_net.dir/bandwidth_estimator.cpp.o.d"
+  "/root/repo/src/net/bandwidth_profile.cpp" "src/net/CMakeFiles/cbs_net.dir/bandwidth_profile.cpp.o" "gcc" "src/net/CMakeFiles/cbs_net.dir/bandwidth_profile.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/cbs_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/cbs_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/noise.cpp" "src/net/CMakeFiles/cbs_net.dir/noise.cpp.o" "gcc" "src/net/CMakeFiles/cbs_net.dir/noise.cpp.o.d"
+  "/root/repo/src/net/thread_tuner.cpp" "src/net/CMakeFiles/cbs_net.dir/thread_tuner.cpp.o" "gcc" "src/net/CMakeFiles/cbs_net.dir/thread_tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/cbs_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cbs_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbs_net.dir/bandwidth_estimator.cpp.o"
+  "CMakeFiles/cbs_net.dir/bandwidth_estimator.cpp.o.d"
+  "CMakeFiles/cbs_net.dir/bandwidth_profile.cpp.o"
+  "CMakeFiles/cbs_net.dir/bandwidth_profile.cpp.o.d"
+  "CMakeFiles/cbs_net.dir/link.cpp.o"
+  "CMakeFiles/cbs_net.dir/link.cpp.o.d"
+  "CMakeFiles/cbs_net.dir/noise.cpp.o"
+  "CMakeFiles/cbs_net.dir/noise.cpp.o.d"
+  "CMakeFiles/cbs_net.dir/thread_tuner.cpp.o"
+  "CMakeFiles/cbs_net.dir/thread_tuner.cpp.o.d"
+  "libcbs_net.a"
+  "libcbs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbs_simcore.dir/event_queue.cpp.o"
+  "CMakeFiles/cbs_simcore.dir/event_queue.cpp.o.d"
+  "CMakeFiles/cbs_simcore.dir/logging.cpp.o"
+  "CMakeFiles/cbs_simcore.dir/logging.cpp.o.d"
+  "CMakeFiles/cbs_simcore.dir/rng.cpp.o"
+  "CMakeFiles/cbs_simcore.dir/rng.cpp.o.d"
+  "CMakeFiles/cbs_simcore.dir/simulation.cpp.o"
+  "CMakeFiles/cbs_simcore.dir/simulation.cpp.o.d"
+  "libcbs_simcore.a"
+  "libcbs_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbs_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

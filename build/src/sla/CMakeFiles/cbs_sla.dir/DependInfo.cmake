@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sla/cost.cpp" "src/sla/CMakeFiles/cbs_sla.dir/cost.cpp.o" "gcc" "src/sla/CMakeFiles/cbs_sla.dir/cost.cpp.o.d"
+  "/root/repo/src/sla/job_outcome.cpp" "src/sla/CMakeFiles/cbs_sla.dir/job_outcome.cpp.o" "gcc" "src/sla/CMakeFiles/cbs_sla.dir/job_outcome.cpp.o.d"
+  "/root/repo/src/sla/metrics.cpp" "src/sla/CMakeFiles/cbs_sla.dir/metrics.cpp.o" "gcc" "src/sla/CMakeFiles/cbs_sla.dir/metrics.cpp.o.d"
+  "/root/repo/src/sla/oo_metric.cpp" "src/sla/CMakeFiles/cbs_sla.dir/oo_metric.cpp.o" "gcc" "src/sla/CMakeFiles/cbs_sla.dir/oo_metric.cpp.o.d"
+  "/root/repo/src/sla/report.cpp" "src/sla/CMakeFiles/cbs_sla.dir/report.cpp.o" "gcc" "src/sla/CMakeFiles/cbs_sla.dir/report.cpp.o.d"
+  "/root/repo/src/sla/slack.cpp" "src/sla/CMakeFiles/cbs_sla.dir/slack.cpp.o" "gcc" "src/sla/CMakeFiles/cbs_sla.dir/slack.cpp.o.d"
+  "/root/repo/src/sla/tickets.cpp" "src/sla/CMakeFiles/cbs_sla.dir/tickets.cpp.o" "gcc" "src/sla/CMakeFiles/cbs_sla.dir/tickets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/cbs_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cbs_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbs_sla.dir/cost.cpp.o"
+  "CMakeFiles/cbs_sla.dir/cost.cpp.o.d"
+  "CMakeFiles/cbs_sla.dir/job_outcome.cpp.o"
+  "CMakeFiles/cbs_sla.dir/job_outcome.cpp.o.d"
+  "CMakeFiles/cbs_sla.dir/metrics.cpp.o"
+  "CMakeFiles/cbs_sla.dir/metrics.cpp.o.d"
+  "CMakeFiles/cbs_sla.dir/oo_metric.cpp.o"
+  "CMakeFiles/cbs_sla.dir/oo_metric.cpp.o.d"
+  "CMakeFiles/cbs_sla.dir/report.cpp.o"
+  "CMakeFiles/cbs_sla.dir/report.cpp.o.d"
+  "CMakeFiles/cbs_sla.dir/slack.cpp.o"
+  "CMakeFiles/cbs_sla.dir/slack.cpp.o.d"
+  "CMakeFiles/cbs_sla.dir/tickets.cpp.o"
+  "CMakeFiles/cbs_sla.dir/tickets.cpp.o.d"
+  "libcbs_sla.a"
+  "libcbs_sla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbs_sla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

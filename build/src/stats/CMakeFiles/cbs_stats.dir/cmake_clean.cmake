@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbs_stats.dir/distributions.cpp.o"
+  "CMakeFiles/cbs_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/cbs_stats.dir/histogram.cpp.o"
+  "CMakeFiles/cbs_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/cbs_stats.dir/summary.cpp.o"
+  "CMakeFiles/cbs_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/cbs_stats.dir/timeseries.cpp.o"
+  "CMakeFiles/cbs_stats.dir/timeseries.cpp.o.d"
+  "libcbs_stats.a"
+  "libcbs_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbs_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/arrival.cpp" "src/workload/CMakeFiles/cbs_workload.dir/arrival.cpp.o" "gcc" "src/workload/CMakeFiles/cbs_workload.dir/arrival.cpp.o.d"
+  "/root/repo/src/workload/chunker.cpp" "src/workload/CMakeFiles/cbs_workload.dir/chunker.cpp.o" "gcc" "src/workload/CMakeFiles/cbs_workload.dir/chunker.cpp.o.d"
+  "/root/repo/src/workload/document.cpp" "src/workload/CMakeFiles/cbs_workload.dir/document.cpp.o" "gcc" "src/workload/CMakeFiles/cbs_workload.dir/document.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/cbs_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/cbs_workload.dir/generator.cpp.o.d"
+  "/root/repo/src/workload/ground_truth.cpp" "src/workload/CMakeFiles/cbs_workload.dir/ground_truth.cpp.o" "gcc" "src/workload/CMakeFiles/cbs_workload.dir/ground_truth.cpp.o.d"
+  "/root/repo/src/workload/seasonal.cpp" "src/workload/CMakeFiles/cbs_workload.dir/seasonal.cpp.o" "gcc" "src/workload/CMakeFiles/cbs_workload.dir/seasonal.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/cbs_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/cbs_workload.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/cbs_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cbs_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbs_workload.dir/arrival.cpp.o"
+  "CMakeFiles/cbs_workload.dir/arrival.cpp.o.d"
+  "CMakeFiles/cbs_workload.dir/chunker.cpp.o"
+  "CMakeFiles/cbs_workload.dir/chunker.cpp.o.d"
+  "CMakeFiles/cbs_workload.dir/document.cpp.o"
+  "CMakeFiles/cbs_workload.dir/document.cpp.o.d"
+  "CMakeFiles/cbs_workload.dir/generator.cpp.o"
+  "CMakeFiles/cbs_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/cbs_workload.dir/ground_truth.cpp.o"
+  "CMakeFiles/cbs_workload.dir/ground_truth.cpp.o.d"
+  "CMakeFiles/cbs_workload.dir/seasonal.cpp.o"
+  "CMakeFiles/cbs_workload.dir/seasonal.cpp.o.d"
+  "CMakeFiles/cbs_workload.dir/trace.cpp.o"
+  "CMakeFiles/cbs_workload.dir/trace.cpp.o.d"
+  "libcbs_workload.a"
+  "libcbs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sla_cost_tickets_test.dir/sla_cost_tickets_test.cpp.o"
+  "CMakeFiles/sla_cost_tickets_test.dir/sla_cost_tickets_test.cpp.o.d"
+  "sla_cost_tickets_test"
+  "sla_cost_tickets_test.pdb"
+  "sla_cost_tickets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sla_cost_tickets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
