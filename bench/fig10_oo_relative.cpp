@@ -5,52 +5,75 @@
 // run (when the large job whose small siblings were favored finally lands).
 // Averaged across seeds; the per-seed series of the last seed is printed as
 // CSV for plotting.
+//
+// Flags: --seeds a,b,c --threads N.
 #include <cstdio>
 #include <iostream>
 
+#include "harness/cli.hpp"
 #include "harness/csv.hpp"
-#include "harness/experiment.hpp"
+#include "harness/runner.hpp"
 #include "harness/scenario.hpp"
+#include "harness/table.hpp"
 #include "stats/summary.hpp"
 
-int main() {
+int main(int argc, char** argv) try {
   using namespace cbs;
   using core::SchedulerKind;
-  const std::vector<std::uint64_t> seeds = {42, 7, 1337, 2718, 31415};
-  const std::vector<SchedulerKind> kinds = {
-      SchedulerKind::kIcOnly, SchedulerKind::kGreedy,
-      SchedulerKind::kOrderPreserving, SchedulerKind::kBandwidthSplit};
+  const harness::cli::Args args(argc, argv, harness::cli::scenario_flags());
+  const std::vector<std::uint64_t> seeds =
+      harness::cli::seeds_from_args(args, {42, 7, 1337, 2718, 31415});
+
+  harness::Scenario base;
+  base.high_network_variation = true;
+  base.oo_tolerance = 4;
+  const harness::ExperimentPlan plan = harness::ExperimentPlan::grid(
+      seeds,
+      {SchedulerKind::kIcOnly, SchedulerKind::kGreedy,
+       SchedulerKind::kOrderPreserving, SchedulerKind::kBandwidthSplit},
+      {workload::SizeBucket::kLargeBiased}, base);
 
   std::printf(
       "=== Fig. 10: OO metric relative to IC-only "
       "(t_l = 4, large, high variation, %zu seeds) ===\n\n",
       seeds.size());
 
-  std::vector<stats::Summary> avg_rel(kinds.size());
-  std::vector<stats::Summary> share_ge_greedy(kinds.size());
-  std::vector<stats::Summary> tail_rel(kinds.size());  // last-quarter average
-  std::vector<harness::RunResult> last;
-  for (const std::uint64_t seed : seeds) {
-    harness::Scenario base = harness::make_scenario(
-        SchedulerKind::kIcOnly, workload::SizeBucket::kLargeBiased, seed,
-        /*high_network_variation=*/true);
-    base.oo_tolerance = 4;
-    auto results = harness::run_comparison(base, kinds);
+  harness::RunnerOptions opts;
+  opts.threads = harness::cli::threads_from_args(args);
+  const auto results = harness::run_plan(plan, opts);
+  for (const auto& r : results) {
+    if (!r.ok()) {
+      std::fprintf(stderr, "cell %s (seed %llu) failed: %s\n",
+                   r.cell.scenario.name.c_str(),
+                   static_cast<unsigned long long>(r.cell.scenario.seed),
+                   r.error.c_str());
+    }
+  }
+  if (harness::failed_cells(results) != 0) return 1;
 
-    const auto& baseline = results[0];
+  const std::size_t kinds = plan.schedulers.size();
+  std::vector<stats::Summary> avg_rel(kinds);
+  std::vector<stats::Summary> share_ge_greedy(kinds);
+  std::vector<stats::Summary> tail_rel(kinds);  // last-quarter average
+  // The relative-OO metric of a run is defined against the IC-only
+  // baseline of the SAME seed, so fold seed by seed over the grid.
+  for (std::size_t s = 0; s < seeds.size(); ++s) {
+    const auto& baseline = *results[plan.grid_index(s, 0, 0)].result;
+    const auto& greedy = *results[plan.grid_index(s, 0, 1)].result;
     const double end = baseline.sim_end_time;
     const double dt = base.oo_sampling_interval;
-    for (std::size_t i = 1; i < kinds.size(); ++i) {
+    for (std::size_t i = 1; i < kinds; ++i) {
+      const auto& run = *results[plan.grid_index(s, 0, i)].result;
       double total = 0.0;
       double tail_total = 0.0;
       std::size_t n = 0;
       std::size_t tail_n = 0;
       std::size_t ge = 0;
       for (double t = 0.0; t <= end; t += dt) {
-        const double rel = results[i].oo_series.value_at(t) -
-                           baseline.oo_series.value_at(t);
-        const double greedy_rel = results[1].oo_series.value_at(t) -
-                                  baseline.oo_series.value_at(t);
+        const double rel =
+            run.oo_series.value_at(t) - baseline.oo_series.value_at(t);
+        const double greedy_rel =
+            greedy.oo_series.value_at(t) - baseline.oo_series.value_at(t);
         total += rel;
         if (rel >= greedy_rel) ++ge;
         ++n;
@@ -63,16 +86,17 @@ int main() {
       tail_rel[i].add(tail_total / static_cast<double>(tail_n));
       share_ge_greedy[i].add(static_cast<double>(ge) / static_cast<double>(n));
     }
-    last = std::move(results);
   }
 
-  std::printf("%-20s %22s %24s\n", "scheduler", "avg rel. OO (MB)",
-              "share of time >= Greedy");
-  for (std::size_t i = 1; i < kinds.size(); ++i) {
-    std::printf("%-20s %21.1f %23.0f%%\n",
-                std::string(core::to_string(kinds[i])).c_str(),
-                avg_rel[i].mean(), share_ge_greedy[i].mean() * 100.0);
+  harness::TextTable table(
+      {"scheduler", "avg rel. OO (MB)", "share of time >= Greedy"});
+  for (std::size_t i = 1; i < kinds; ++i) {
+    table.row()
+        .cell(core::to_string(plan.schedulers[i]))
+        .num(avg_rel[i].mean(), 1)
+        .num(share_ge_greedy[i].mean() * 100.0, 0, "%");
   }
+  table.print();
 
   // The paper's claim is positional — Op and Op+BS "show higher OO metric
   // w.r.t. the Greedy scheduler (almost at all points of time)" — so the
@@ -91,7 +115,11 @@ int main() {
               tail_rel[1].mean());
 
   std::printf("\ncsv (absolute OO series, last seed):\n");
+  const auto last = harness::last_seed_results(plan, results);
   harness::csv::write_oo_overlay(std::cout, last,
                                  last[0].scenario.oo_sampling_interval);
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 2;
 }

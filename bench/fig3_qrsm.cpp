@@ -5,10 +5,13 @@
 //       (the two dominant dimensions), alongside the true expectation,
 //   (c) the online-tuning trajectory: prediction error as observations
 //       accumulate (the autonomic loop of §III.A.1).
+//
+// Flags: --seed S (default 1234).
 #include <cmath>
 #include <cstdio>
 #include <vector>
 
+#include "harness/cli.hpp"
 #include "models/estimator.hpp"
 #include "models/qrsm.hpp"
 #include "simcore/rng.hpp"
@@ -30,9 +33,11 @@ double mape(const cbs::models::QrsmModel& model,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) try {
   using namespace cbs;
-  sim::RngStream root(1234);
+  const harness::cli::Args args(argc, argv, harness::cli::scenario_flags());
+  sim::RngStream root(
+      static_cast<std::uint64_t>(args.get_long_or("seed", 1234)));
   workload::GroundTruthModel truth({}, root.substream("truth"));
   workload::WorkloadGenerator gen({}, truth, root.substream("gen"));
 
@@ -97,4 +102,7 @@ int main() {
                 mape(online, held_out, truth) * 100.0);
   }
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 2;
 }

@@ -2,17 +2,21 @@
 // autonomic estimator tracking it via periodic 1 MB probes; (b) the number
 // of parallel threads the tuner converges to per time of day to keep the
 // pipe saturated.
+//
+// Flags: --seed S (default 99).
 #include <cstdio>
 
+#include "harness/cli.hpp"
 #include "net/bandwidth_estimator.hpp"
 #include "net/link.hpp"
 #include "net/thread_tuner.hpp"
 #include "simcore/simulation.hpp"
 
-int main() {
+int main(int argc, char** argv) try {
   using namespace cbs;
+  const harness::cli::Args args(argc, argv, harness::cli::scenario_flags());
   sim::Simulation simulation;
-  sim::RngStream root(99);
+  sim::RngStream root(static_cast<std::uint64_t>(args.get_long_or("seed", 99)));
 
   net::LinkConfig cfg;
   cfg.base_rate = 1.3e6;
@@ -76,4 +80,7 @@ int main() {
   std::printf("\nestimator observations: %zu, link delivered %.1f MB\n",
               estimator.observation_count(), link.total_bytes_delivered() / 1e6);
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 2;
 }

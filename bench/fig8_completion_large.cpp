@@ -1,24 +1,41 @@
 // Reproduces Fig. 8: completion times for the large job-size distribution,
 // where the Greedy-vs-Op peak/valley contrast is amplified — a delayed
 // 300 MB download blocks the in-order consumer for a long time.
+//
+// Flags: --seed S --threads N --csv.
 #include <cstdio>
 #include <iostream>
 
+#include "harness/cli.hpp"
 #include "harness/csv.hpp"
-#include "harness/experiment.hpp"
+#include "harness/runner.hpp"
 #include "harness/scenario.hpp"
 #include "sla/metrics.hpp"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace cbs;
-  const bool emit_csv = argc > 1 && std::string_view(argv[1]) == "--csv";
+  const harness::cli::Args args(argc, argv, harness::cli::scenario_flags());
+  const auto seed = static_cast<std::uint64_t>(args.get_long_or("seed", 42));
 
   std::printf("=== Fig. 8: completion times, large bucket ===\n\n");
-  const harness::Scenario base = harness::make_scenario(
-      core::SchedulerKind::kGreedy, workload::SizeBucket::kLargeBiased);
-  const auto results = harness::run_comparison(
-      base,
-      {core::SchedulerKind::kGreedy, core::SchedulerKind::kOrderPreserving});
+  const harness::ExperimentPlan plan = harness::ExperimentPlan::grid(
+      {seed},
+      {core::SchedulerKind::kGreedy, core::SchedulerKind::kOrderPreserving},
+      {workload::SizeBucket::kLargeBiased});
+
+  harness::RunnerOptions opts;
+  opts.threads = harness::cli::threads_from_args(args);
+  const auto cell_results = harness::run_plan(plan, opts);
+  for (const auto& r : cell_results) {
+    if (!r.ok()) {
+      std::fprintf(stderr, "cell %s failed: %s\n", r.cell.scenario.name.c_str(),
+                   r.error.c_str());
+    }
+  }
+  if (harness::failed_cells(cell_results) != 0) return 1;
+
+  const std::vector<harness::RunResult> results =
+      harness::last_seed_results(plan, cell_results);
 
   for (const auto& r : results) {
     const auto stats = sla::compute_orderliness(r.outcomes, 120.0);
@@ -47,11 +64,14 @@ int main(int argc, char** argv) {
                 harness::ascii_chart(harness::completion_by_seq(r), 10, 80)
                     .c_str());
   }
-  if (emit_csv) {
+  if (args.has("csv")) {
     for (const auto& r : results) {
       std::printf("csv (%s):\n", r.scenario.name.c_str());
       harness::csv::write_completion_series(std::cout, r);
     }
   }
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 2;
 }

@@ -2,44 +2,61 @@
 // available, 2-minute sampling) for the large bucket under HIGH network
 // variation. The paper: the Order Preserving scheduler's OO metric
 // dominates Greedy's — downstream stages can consume at higher rates.
+//
+// Flags: --seed S --threads N; a positional argument is a gnuplot prefix.
 #include <cstdio>
 #include <iostream>
 
+#include "harness/cli.hpp"
 #include "harness/csv.hpp"
-#include "harness/experiment.hpp"
-#include "harness/scenario.hpp"
 #include "harness/plot.hpp"
+#include "harness/runner.hpp"
+#include "harness/scenario.hpp"
 #include "sla/oo_metric.hpp"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace cbs;
+  const harness::cli::Args args(argc, argv, harness::cli::scenario_flags());
+  const auto seed = static_cast<std::uint64_t>(args.get_long_or("seed", 42));
   std::printf(
       "=== Fig. 9: OO metric, large bucket, high network variation ===\n\n");
 
-  harness::Scenario base =
-      harness::make_scenario(core::SchedulerKind::kGreedy,
-                             workload::SizeBucket::kLargeBiased,
-                             /*seed=*/42, /*high_network_variation=*/true);
+  harness::Scenario base;
+  base.high_network_variation = true;
   base.oo_tolerance = 0;  // Fig. 9 uses the strict metric
-  const auto results = harness::run_comparison(
-      base,
-      {core::SchedulerKind::kGreedy, core::SchedulerKind::kOrderPreserving});
+  harness::ExperimentPlan plan = harness::ExperimentPlan::grid(
+      {seed},
+      {core::SchedulerKind::kGreedy, core::SchedulerKind::kOrderPreserving},
+      {workload::SizeBucket::kLargeBiased}, base);
+
+  harness::RunnerOptions opts;
+  opts.threads = harness::cli::threads_from_args(args);
+  const auto cell_results = harness::run_plan(plan, opts);
+  for (const auto& r : cell_results) {
+    if (!r.ok()) {
+      std::fprintf(stderr, "cell %s failed: %s\n", r.cell.scenario.name.c_str(),
+                   r.error.c_str());
+    }
+  }
+  if (harness::failed_cells(cell_results) != 0) return 1;
+  const std::vector<harness::RunResult> results =
+      harness::last_seed_results(plan, cell_results);
 
   const auto& greedy = results[0];
   const auto& op = results[1];
+  const double oo_interval = greedy.scenario.oo_sampling_interval;
 
   // Dominance fraction: at what share of sampling instants does Op offer at
   // least as much ordered data as Greedy?
   std::size_t op_ahead = 0;
   std::size_t samples = 0;
   const double end = std::max(greedy.sim_end_time, op.sim_end_time);
-  for (double t = 0.0; t <= end; t += base.oo_sampling_interval) {
+  for (double t = 0.0; t <= end; t += oo_interval) {
     ++samples;
     if (op.oo_series.value_at(t) >= greedy.oo_series.value_at(t)) ++op_ahead;
   }
-  std::printf("sampling interval: %.0fs, tolerance t_l = %llu\n",
-              base.oo_sampling_interval,
-              static_cast<unsigned long long>(base.oo_tolerance));
+  std::printf("sampling interval: %.0fs, tolerance t_l = %llu\n", oo_interval,
+              static_cast<unsigned long long>(greedy.scenario.oo_tolerance));
   std::printf("time-averaged ordered data: Greedy %.0f MB, Op %.0f MB\n",
               greedy.report.oo_time_averaged_mb, op.report.oo_time_averaged_mb);
   std::printf("Op >= Greedy at %zu of %zu sampling instants (%.0f%%)\n\n",
@@ -60,7 +77,7 @@ int main(int argc, char** argv) {
   bool monotone = true;
   for (const std::uint64_t tol : {0ull, 2ull, 4ull, 8ull, 16ull}) {
     cbs::sla::OoMetricCalculator oo(greedy.outcomes);
-    const auto ts = oo.ordered_mb_series(base.oo_sampling_interval, tol);
+    const auto ts = oo.ordered_mb_series(oo_interval, tol);
     const double avg = ts.time_average(0.0, ts.back().time);
     std::printf("%6llu %14.1f\n", static_cast<unsigned long long>(tol), avg);
     if (avg < prev) monotone = false;
@@ -70,7 +87,7 @@ int main(int argc, char** argv) {
               monotone ? "yes" : "NO");
 
   // Optional: emit gnuplot files (fig9_oo_metric <prefix>).
-  if (argc > 1) {
+  if (!args.positional().empty()) {
     harness::plot::Figure figure;
     figure.title = "Fig. 9: ordered data availability (large, high variation)";
     figure.xlabel = "time (s)";
@@ -79,11 +96,15 @@ int main(int argc, char** argv) {
         harness::plot::from_timeseries("greedy", greedy.oo_series));
     figure.series.push_back(
         harness::plot::from_timeseries("order-preserving", op.oo_series));
-    const std::string gp = harness::plot::write_gnuplot(argv[1], figure);
+    const std::string gp =
+        harness::plot::write_gnuplot(args.positional().front(), figure);
     std::printf("gnuplot script written: %s\n\n", gp.c_str());
   }
 
   std::printf("csv:\n");
-  harness::csv::write_oo_overlay(std::cout, results, base.oo_sampling_interval);
+  harness::csv::write_oo_overlay(std::cout, results, oo_interval);
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 2;
 }

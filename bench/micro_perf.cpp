@@ -3,6 +3,7 @@
 #include <benchmark/benchmark.h>
 
 #include "harness/experiment.hpp"
+#include "harness/runner.hpp"
 #include "harness/scenario.hpp"
 #include "models/qrsm.hpp"
 #include "net/bandwidth_estimator.hpp"
@@ -162,6 +163,30 @@ void BM_FullScenario(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullScenario)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelPlan(benchmark::State& state) {
+  // Scaling of the parallel experiment runner: a 6-cell plan (3 seeds x
+  // 2 schedulers) at 1/2/4 worker threads. Near-linear scaling up to the
+  // core count demonstrates the per-run reentrancy contract costs nothing.
+  auto base = cbs::harness::make_scenario(
+      cbs::core::SchedulerKind::kOrderPreserving,
+      cbs::workload::SizeBucket::kUniform, 42);
+  base.num_batches = 2;
+  const auto plan = cbs::harness::ExperimentPlan::grid(
+      {42, 7, 1337},
+      {cbs::core::SchedulerKind::kGreedy,
+       cbs::core::SchedulerKind::kOrderPreserving},
+      {cbs::workload::SizeBucket::kUniform}, base);
+  cbs::harness::RunnerOptions opts;
+  opts.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto results = cbs::harness::run_plan(plan, opts);
+    benchmark::DoNotOptimize(cbs::harness::failed_cells(results));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(plan.cell_count()));
+}
+BENCHMARK(BM_ParallelPlan)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

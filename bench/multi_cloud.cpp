@@ -3,15 +3,26 @@
 // better to buy one provider or split across two? Splitting buys path
 // diversity (independent congestion processes) at the cost of fragmenting
 // the upload pipeline.
+//
+// Flags: --seeds a,b,c --threads N. The MultiCloudController has no
+// run_scenario path, so this bench plugs a custom run function into the
+// parallel runner (RunnerOptions::run): each cell builds its own
+// Simulation/controller from the scenario name's site table and returns a
+// RunResult with the outcomes filled in.
 #include <cstdio>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "core/multi_cloud.hpp"
+#include "harness/cli.hpp"
+#include "harness/runner.hpp"
+#include "harness/table.hpp"
 #include "models/estimator.hpp"
 #include "simcore/simulation.hpp"
 #include "sla/metrics.hpp"
+#include "stats/aggregate.hpp"
 #include "stats/distributions.hpp"
-#include "stats/summary.hpp"
 #include "workload/generator.hpp"
 
 namespace {
@@ -35,76 +46,121 @@ core::EcSiteConfig site(const char* name, std::size_t machines,
   return s;
 }
 
-struct Outcome {
-  stats::Summary makespan, burst, p95_peak;
-};
+/// One multi-cloud run, reentrant by construction: every call owns its
+/// Simulation, RNG streams and controller, exactly like run_scenario.
+harness::RunResult run_sites(const harness::Scenario& scenario,
+                             const std::vector<core::EcSiteConfig>& sites) {
+  sim::Simulation simulation;
+  sim::RngStream root(scenario.seed);
+  workload::GroundTruthModel truth({}, root.substream("truth"));
+  models::OracleEstimator estimator(truth);
 
-Outcome run_config(const std::vector<core::EcSiteConfig>& sites,
-                   const std::vector<std::uint64_t>& seeds) {
-  Outcome out;
-  for (const std::uint64_t seed : seeds) {
-    sim::Simulation simulation;
-    sim::RngStream root(seed);
-    workload::GroundTruthModel truth({}, root.substream("truth"));
-    models::OracleEstimator estimator(truth);
+  core::MultiCloudConfig cfg;
+  cfg.ic.ic_machines = 8;
+  cfg.sites = sites;
+  cfg.bandwidth_estimator.prior_rate = sites[0].uplink.base_rate * 0.8;
+  cfg.slack_safety_margin = 30.0;
+  cfg.log_threshold = scenario.log_threshold;
+  cfg.log_sink = scenario.log_sink;
 
-    core::MultiCloudConfig cfg;
-    cfg.ic.ic_machines = 8;
-    cfg.sites = sites;
-    cfg.bandwidth_estimator.prior_rate = sites[0].uplink.base_rate * 0.8;
-    cfg.slack_safety_margin = 30.0;
-
-    core::MultiCloudController controller(simulation, cfg, truth, estimator,
-                                          root.substream("system"));
-    workload::WorkloadGenerator::Config gen_cfg;
-    gen_cfg.bucket = workload::SizeBucket::kLargeBiased;
-    workload::WorkloadGenerator gen(gen_cfg, truth, root.substream("workload"));
-    auto rng = std::make_shared<sim::RngStream>(root.substream("arrivals"));
-    for (std::size_t b = 0; b < 8; ++b) {
-      simulation.schedule_at(
-          180.0 * static_cast<double>(b), [&, b] {
-            workload::Batch batch;
-            batch.batch_index = b;
-            batch.arrival_time = simulation.now();
-            auto n = stats::sample_poisson(*rng, 15.0);
-            if (n == 0) n = 1;
-            batch.documents = gen.batch(n);
-            controller.on_batch(batch);
-          });
-    }
-    simulation.run();
-    out.makespan.add(sla::makespan(controller.outcomes()));
-    out.burst.add(sla::burst_ratio(controller.outcomes()));
-    out.p95_peak.add(
-        sla::compute_orderliness(controller.outcomes(), 120.0)
-            .p95_frontier_push);
+  core::MultiCloudController controller(simulation, cfg, truth, estimator,
+                                        root.substream("system"));
+  workload::WorkloadGenerator::Config gen_cfg;
+  gen_cfg.bucket = workload::SizeBucket::kLargeBiased;
+  workload::WorkloadGenerator gen(gen_cfg, truth, root.substream("workload"));
+  auto rng = std::make_shared<sim::RngStream>(root.substream("arrivals"));
+  for (std::size_t b = 0; b < 8; ++b) {
+    simulation.schedule_at(180.0 * static_cast<double>(b), [&, b] {
+      workload::Batch batch;
+      batch.batch_index = b;
+      batch.arrival_time = simulation.now();
+      auto n = stats::sample_poisson(*rng, 15.0);
+      if (n == 0) n = 1;
+      batch.documents = gen.batch(n);
+      controller.on_batch(batch);
+    });
   }
-  return out;
+  simulation.run();
+
+  harness::RunResult result;
+  result.scenario = scenario;
+  result.outcomes = controller.outcomes();
+  result.sim_end_time = simulation.now();
+  result.events_processed = simulation.events_processed();
+  return result;
+}
+
+double p95_peak(const harness::RunResult& r) {
+  return sla::compute_orderliness(r.outcomes, 120.0).p95_frontier_push;
 }
 
 }  // namespace
 
-int main() {
-  const std::vector<std::uint64_t> seeds = {42, 7, 1337, 2718, 31415};
+int main(int argc, char** argv) try {
+  const harness::cli::Args args(argc, argv, harness::cli::scenario_flags());
+  const std::vector<std::uint64_t> seeds =
+      harness::cli::seeds_from_args(args, {42, 7, 1337, 2718, 31415});
   std::printf("=== multi-cloud ablation: one provider vs a split pool ===\n");
   std::printf("(large bucket, high-variation paths, equal total capacity "
               "and pipe, %zu seeds)\n\n",
               seeds.size());
 
-  const auto one = run_config({site("single", 2, 1.3e6, 0.25)}, seeds);
-  const auto two = run_config(
-      {site("pool-a", 1, 0.65e6, 0.25), site("pool-b", 1, 0.65e6, 0.25)},
-      seeds);
+  const char* kOne = "1 provider (2 VM, full pipe)";
+  const char* kTwo = "2 providers (1 VM, half pipe)";
+  const std::map<std::string, std::vector<core::EcSiteConfig>> site_tables = {
+      {kOne, {site("single", 2, 1.3e6, 0.25)}},
+      {kTwo,
+       {site("pool-a", 1, 0.65e6, 0.25), site("pool-b", 1, 0.65e6, 0.25)}},
+  };
 
-  std::printf("%-26s %10s %8s %10s\n", "configuration", "makespan", "burst",
-              "p95 peak");
-  std::printf("%-26s %9.0fs %8.2f %9.1fs\n", "1 provider (2 VM, full pipe)",
-              one.makespan.mean(), one.burst.mean(), one.p95_peak.mean());
-  std::printf("%-26s %9.0fs %8.2f %9.1fs\n", "2 providers (1 VM, half pipe)",
-              two.makespan.mean(), two.burst.mean(), two.p95_peak.mean());
+  std::vector<harness::Scenario> cells;
+  for (const std::uint64_t seed : seeds) {
+    for (const auto& [name, sites] : site_tables) {
+      (void)sites;
+      harness::Scenario s;
+      s.seed = seed;
+      s.name = name;
+      cells.push_back(std::move(s));
+    }
+  }
 
-  const double delta =
-      100.0 * (two.makespan.mean() - one.makespan.mean()) / one.makespan.mean();
+  harness::RunnerOptions opts;
+  opts.threads = harness::cli::threads_from_args(args);
+  opts.run = [&site_tables](const harness::Scenario& s) {
+    return run_sites(s, site_tables.at(s.name));
+  };
+  const auto results =
+      harness::run_plan(harness::ExperimentPlan::list(std::move(cells)), opts);
+  for (const auto& r : results) {
+    if (!r.ok()) {
+      std::fprintf(stderr, "cell %s (seed %llu) failed: %s\n",
+                   r.cell.scenario.name.c_str(),
+                   static_cast<unsigned long long>(r.cell.scenario.seed),
+                   r.error.c_str());
+    }
+  }
+  if (harness::failed_cells(results) != 0) return 1;
+
+  using harness::RunResult;
+  const auto makespan = harness::group_by_name(
+      results, [](const RunResult& r) { return sla::makespan(r.outcomes); });
+  const auto burst = harness::group_by_name(
+      results, [](const RunResult& r) { return sla::burst_ratio(r.outcomes); });
+  const auto peak = harness::group_by_name(results, p95_peak);
+
+  harness::TextTable table({"configuration", "makespan", "burst", "p95 peak"});
+  for (const char* v : {kOne, kTwo}) {
+    table.row()
+        .cell(v)
+        .num(makespan.at(v).mean(), 0, "s")
+        .num(burst.at(v).mean(), 2)
+        .num(peak.at(v).mean(), 1, "s");
+  }
+  table.print();
+
+  const double delta = 100.0 *
+                       (makespan.at(kTwo).mean() - makespan.at(kOne).mean()) /
+                       makespan.at(kOne).mean();
   std::printf(
       "\nsplit-pool makespan delta: %+.1f%% — path diversity buys "
       "independent\ncongestion exposure; pipeline fragmentation costs "
@@ -112,4 +168,7 @@ int main() {
       "answers it per scenario.\n",
       delta);
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 2;
 }

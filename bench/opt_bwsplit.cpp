@@ -6,81 +6,132 @@
 // a single testbed run would be). Also runs the two §IV.D ablations this
 // library implements beyond the paper's evaluation: the idle-triggered
 // rescheduler and the oracle (perfect-information) estimator.
+//
+// Flags: --seeds a,b,c --threads N. Each (variant, seed) pair is one plan
+// cell; variants sharing a name fold across seeds in the aggregation.
 #include <cstdio>
 #include <vector>
 
-#include "harness/experiment.hpp"
+#include "harness/cli.hpp"
+#include "harness/runner.hpp"
 #include "harness/scenario.hpp"
-#include "stats/summary.hpp"
+#include "harness/table.hpp"
+#include "stats/aggregate.hpp"
 
 namespace {
 
-struct Avg {
-  cbs::stats::Summary ic_util, ec_util, speedup, makespan;
-  void add(const cbs::harness::RunResult& r) {
-    ic_util.add(r.report.ic_utilization);
-    ec_util.add(r.report.ec_utilization);
-    speedup.add(r.report.speedup);
-    makespan.add(r.report.makespan_seconds);
+using namespace cbs;
+
+constexpr const char* kVariantOp = "order-preserving";
+constexpr const char* kVariantBs = "op + bandwidth-split";
+constexpr const char* kVariantBsResched = "op + bw-split + rescheduler";
+constexpr const char* kVariantOracle = "op + oracle estimator";
+
+void print_variant_rows(harness::TextTable& table,
+                        const std::vector<harness::CellResult>& results,
+                        const std::vector<const char*>& variants) {
+  using harness::RunResult;
+  const auto ic = harness::group_by_name(
+      results, [](const RunResult& r) { return r.report.ic_utilization; });
+  const auto ec = harness::group_by_name(
+      results, [](const RunResult& r) { return r.report.ec_utilization; });
+  const auto speedup = harness::group_by_name(
+      results, [](const RunResult& r) { return r.report.speedup; });
+  const auto makespan = harness::group_by_name(
+      results, [](const RunResult& r) { return r.report.makespan_seconds; });
+  for (const char* v : variants) {
+    table.row()
+        .cell(v)
+        .num(ic.at(v).mean() * 100.0, 1, "%")
+        .num(ec.at(v).mean() * 100.0, 1, "%")
+        .num(speedup.at(v).mean(), 2)
+        .num(makespan.at(v).mean(), 0, "s");
   }
-  void print(const char* label) const {
-    std::printf("%-28s %7.1f%% %7.1f%% %8.2f %9.0fs\n", label,
-                ic_util.mean() * 100.0, ec_util.mean() * 100.0, speedup.mean(),
-                makespan.mean());
+}
+
+/// CoV of the input sizes of this run's bursted jobs (the §V.B.4
+/// precondition for size-interval splitting).
+stats::Summary bursted_size_cov(const std::vector<harness::CellResult>& results,
+                                const std::string& variant) {
+  stats::Summary cov;
+  for (const auto& r : results) {
+    if (!r.ok() || r.cell.scenario.name != variant) continue;
+    stats::Summary sizes;
+    for (const auto& o : r.result->outcomes) {
+      if (o.bursted()) sizes.add(o.input_mb);
+    }
+    if (sizes.count() > 1) cov.add(sizes.cov());
   }
-};
+  return cov;
+}
 
 }  // namespace
 
-int main() {
-  using namespace cbs;
-  const std::vector<std::uint64_t> seeds = {42, 7, 1337, 2718, 31415};
+int main(int argc, char** argv) try {
+  const harness::cli::Args args(argc, argv, harness::cli::scenario_flags());
+  const std::vector<std::uint64_t> seeds =
+      harness::cli::seeds_from_args(args, {42, 7, 1337, 2718, 31415});
   std::printf(
       "=== §V.B.4: size-interval bandwidth splitting & ablations ===\n"
       "(large bucket, averaged over %zu seeds)\n\n",
       seeds.size());
 
-  Avg op, bs, bs_resched, oracle;
-  stats::Summary burst_cov;
-  std::size_t pull_backs = 0, push_outs = 0;
+  std::vector<harness::Scenario> variants;
   for (const std::uint64_t seed : seeds) {
     harness::Scenario s = harness::make_scenario(
         core::SchedulerKind::kOrderPreserving,
         workload::SizeBucket::kLargeBiased, seed);
-
-    const auto op_run = harness::run_scenario(s);
-    op.add(op_run);
-    stats::Summary sizes;
-    for (const auto& o : op_run.outcomes) {
-      if (o.bursted()) sizes.add(o.input_mb);
-    }
-    if (sizes.count() > 1) burst_cov.add(sizes.cov());
+    s.name = kVariantOp;
+    variants.push_back(s);
 
     s.scheduler = core::SchedulerKind::kBandwidthSplit;
-    bs.add(harness::run_scenario(s));
+    s.name = kVariantBs;
+    variants.push_back(s);
 
     s.enable_rescheduler = true;
-    const auto br = harness::run_scenario(s);
-    bs_resched.add(br);
-    pull_backs += br.pull_backs;
-    push_outs += br.push_outs;
+    s.name = kVariantBsResched;
+    variants.push_back(s);
 
     s.enable_rescheduler = false;
     s.scheduler = core::SchedulerKind::kOrderPreserving;
     s.estimator = core::EstimatorKind::kOracle;
-    oracle.add(harness::run_scenario(s));
+    s.name = kVariantOracle;
+    variants.push_back(s);
+  }
+  const harness::ExperimentPlan plan =
+      harness::ExperimentPlan::list(std::move(variants));
+
+  harness::RunnerOptions opts;
+  opts.threads = harness::cli::threads_from_args(args);
+  const auto results = harness::run_plan(plan, opts);
+  for (const auto& r : results) {
+    if (!r.ok()) {
+      std::fprintf(stderr, "cell %s (seed %llu) failed: %s\n",
+                   r.cell.scenario.name.c_str(),
+                   static_cast<unsigned long long>(r.cell.scenario.seed),
+                   r.error.c_str());
+    }
+  }
+  if (harness::failed_cells(results) != 0) return 1;
+
+  std::size_t pull_backs = 0, push_outs = 0;
+  for (const auto& r : results) {
+    if (r.cell.scenario.name == kVariantBsResched) {
+      pull_backs += r.result->pull_backs;
+      push_outs += r.result->push_outs;
+    }
   }
 
   std::printf("bursted-job size CoV under Op: %.2f (paper: ~1)\n\n",
-              burst_cov.mean());
-  std::printf("%-28s %8s %8s %8s %10s\n", "variant", "IC-util", "EC-util",
-              "speedup", "makespan");
-  op.print("order-preserving");
-  bs.print("op + bandwidth-split");
-  bs_resched.print("op + bw-split + rescheduler");
+              bursted_size_cov(results, kVariantOp).mean());
+  harness::TextTable table(
+      {"variant", "IC-util", "EC-util", "speedup", "makespan"});
+  print_variant_rows(table, results,
+                     {kVariantOp, kVariantBs, kVariantBsResched,
+                      kVariantOracle});
+  table.print();
   std::printf("%-28s pull-backs=%zu push-outs=%zu (total)\n",
               "  (rescheduler activity)", pull_backs, push_outs);
-  oracle.print("op + oracle estimator");
 
   // Mechanism isolation: the paper's precondition for size-interval
   // splitting is high size variability among bursted jobs (their per-batch
@@ -90,8 +141,9 @@ int main() {
   // spans 1-300 MB, and measure the splitting effect where its precondition
   // actually holds.
   std::printf("\nmechanism check (chunking off, uniform bucket -> high CoV):\n");
-  Avg op_nochunk, bs_nochunk;
-  stats::Summary nochunk_cov;
+  const char* kOpNoChunk = "order-preserving (no chunk)";
+  const char* kBsNoChunk = "op + bw-split   (no chunk)";
+  std::vector<harness::Scenario> nochunk;
   for (const std::uint64_t seed : seeds) {
     harness::Scenario s2 = harness::make_scenario(
         core::SchedulerKind::kOrderPreserving, workload::SizeBucket::kUniform,
@@ -99,32 +151,58 @@ int main() {
     auto cfg2 = core::default_controller_config(false);
     cfg2.params.variability_threshold_mb = 1.0e9;  // no chunking
     s2.config_override = cfg2;
-    const auto op2 = harness::run_scenario(s2);
-    op_nochunk.add(op2);
-    stats::Summary sizes2;
-    for (const auto& o : op2.outcomes) {
-      if (o.bursted()) sizes2.add(o.input_mb);
-    }
-    if (sizes2.count() > 1) nochunk_cov.add(sizes2.cov());
+    s2.name = kOpNoChunk;
+    nochunk.push_back(s2);
     s2.scheduler = core::SchedulerKind::kBandwidthSplit;
-    bs_nochunk.add(harness::run_scenario(s2));
+    s2.name = kBsNoChunk;
+    nochunk.push_back(s2);
   }
-  std::printf("bursted-job size CoV without chunking: %.2f\n", nochunk_cov.mean());
-  op_nochunk.print("order-preserving (no chunk)");
-  bs_nochunk.print("op + bw-split   (no chunk)");
-  std::printf("splitting effect at high CoV: EC util %+.1fpp, speedup %+.1f%%\n",
-              (bs_nochunk.ec_util.mean() - op_nochunk.ec_util.mean()) * 100.0,
-              100.0 * (bs_nochunk.speedup.mean() - op_nochunk.speedup.mean()) /
-                  op_nochunk.speedup.mean());
+  const auto nochunk_results = harness::run_plan(
+      harness::ExperimentPlan::list(std::move(nochunk)), opts);
+  if (harness::failed_cells(nochunk_results) != 0) return 1;
 
+  std::printf("bursted-job size CoV without chunking: %.2f\n",
+              bursted_size_cov(nochunk_results, kOpNoChunk).mean());
+  harness::TextTable table2(
+      {"variant", "IC-util", "EC-util", "speedup", "makespan"});
+  print_variant_rows(table2, nochunk_results, {kOpNoChunk, kBsNoChunk});
+  table2.print();
+  using harness::RunResult;
+  const auto nc_ec = harness::group_by_name(
+      nochunk_results,
+      [](const RunResult& r) { return r.report.ec_utilization; });
+  const auto nc_speedup = harness::group_by_name(
+      nochunk_results, [](const RunResult& r) { return r.report.speedup; });
+  std::printf("splitting effect at high CoV: EC util %+.1fpp, speedup %+.1f%%\n",
+              (nc_ec.at(kBsNoChunk).mean() - nc_ec.at(kOpNoChunk).mean()) *
+                  100.0,
+              100.0 *
+                  (nc_speedup.at(kBsNoChunk).mean() -
+                   nc_speedup.at(kOpNoChunk).mean()) /
+                  nc_speedup.at(kOpNoChunk).mean());
+
+  const auto ec = harness::group_by_name(
+      results, [](const RunResult& r) { return r.report.ec_utilization; });
+  const auto ic = harness::group_by_name(
+      results, [](const RunResult& r) { return r.report.ic_utilization; });
+  const auto speedup = harness::group_by_name(
+      results, [](const RunResult& r) { return r.report.speedup; });
   std::printf("\npaper shape checks (Op+BS vs Op, large bucket):\n");
   std::printf("  EC utilization increases:  %s (%.1f%% -> %.1f%%)\n",
-              bs.ec_util.mean() > op.ec_util.mean() ? "yes" : "NO",
-              op.ec_util.mean() * 100.0, bs.ec_util.mean() * 100.0);
+              ec.at(kVariantBs).mean() > ec.at(kVariantOp).mean() ? "yes"
+                                                                  : "NO",
+              ec.at(kVariantOp).mean() * 100.0,
+              ec.at(kVariantBs).mean() * 100.0);
   std::printf("  IC utilization ~unchanged: %.1f%% -> %.1f%%\n",
-              op.ic_util.mean() * 100.0, bs.ic_util.mean() * 100.0);
+              ic.at(kVariantOp).mean() * 100.0,
+              ic.at(kVariantBs).mean() * 100.0);
   std::printf("  speedup delta:             %+.1f%% (paper: ~+2%%)\n",
-              100.0 * (bs.speedup.mean() - op.speedup.mean()) /
-                  op.speedup.mean());
+              100.0 *
+                  (speedup.at(kVariantBs).mean() -
+                   speedup.at(kVariantOp).mean()) /
+                  speedup.at(kVariantOp).mean());
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 2;
 }

@@ -7,6 +7,7 @@
 #include "net/bandwidth_estimator.hpp"
 #include "net/link.hpp"
 #include "net/thread_tuner.hpp"
+#include "simcore/logging.hpp"
 #include "simcore/time.hpp"
 #include "workload/chunker.hpp"
 
@@ -126,6 +127,14 @@ struct ControllerConfig {
   /// Record every job's pipeline-stage transitions (Fig. 5 observability);
   /// costs memory proportional to jobs x stages, so off by default.
   bool record_stage_log = false;
+
+  /// Per-run logging. Every controller owns its Logger, so concurrent
+  /// runs (the parallel experiment runner) never share mutable logging
+  /// state; the process-wide Logger::global_threshold() only acts as a
+  /// floor. `log_sink` (when set) redirects this run's messages — e.g.
+  /// into a per-cell buffer — instead of the shared stderr stream.
+  cbs::sim::LogLevel log_threshold = cbs::sim::LogLevel::kWarn;
+  cbs::sim::Logger::Sink log_sink{};
 };
 
 /// Returns a config calibrated so that mean transfer time is of the order

@@ -41,7 +41,7 @@ CloudBurstController::CloudBurstController(cbs::sim::Simulation& sim,
     : sim_(sim),
       config_(std::move(config)),
       truth_(truth),
-      log_("controller"),
+      log_("controller", config_.log_threshold),
       ic_cluster_(sim, "ic", config_.topology.ic_machines, config_.topology.ic_speed),
       ec_cluster_(sim, "ec", config_.topology.ec_machines, config_.topology.ec_speed),
       ic_runtime_(sim, ic_cluster_),
@@ -69,6 +69,7 @@ CloudBurstController::CloudBurstController(cbs::sim::Simulation& sim,
                          ? 1
                          : config_.single_queue_upload_slots),
       download_queue_(sim, downlink_, down_tuner_, 1, config_.download_slots) {
+  if (config_.log_sink) log_.set_sink(config_.log_sink);
   upload_queues_.set_on_complete(
       [this](std::uint64_t seq, int, const net::TransferRecord& rec) {
         on_upload_done(seq, rec);

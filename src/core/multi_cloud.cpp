@@ -45,10 +45,11 @@ MultiCloudController::MultiCloudController(
       config_(std::move(config)),
       truth_(truth),
       estimator_(estimator),
-      log_("multi-cloud"),
+      log_("multi-cloud", config_.log_threshold),
       ic_cluster_(sim, "ic", config_.ic.ic_machines, config_.ic.ic_speed),
       ic_runtime_(sim, ic_cluster_) {
   assert(!config_.sites.empty() && "need at least one external site");
+  if (config_.log_sink) log_.set_sink(config_.log_sink);
   for (std::size_t i = 0; i < config_.sites.size(); ++i) {
     sites_.push_back(std::make_unique<Site>(
         sim, config_.sites[i], config_.bandwidth_estimator,

@@ -66,6 +66,11 @@ struct MultiCloudConfig {
   SiteSelection site_selection = SiteSelection::kFastest;
   /// Ticket promise used by kCheapestFeasible to define "meets the SLA".
   cbs::sla::TicketPolicy ticket_policy{};
+
+  /// Per-run logging (see ControllerConfig::log_threshold/log_sink): each
+  /// controller owns its Logger so concurrent runs stay independent.
+  cbs::sim::LogLevel log_threshold = cbs::sim::LogLevel::kWarn;
+  cbs::sim::Logger::Sink log_sink{};
 };
 
 /// The multi-EC generalization of the Order Preserving scheduler: the

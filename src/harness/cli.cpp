@@ -98,6 +98,7 @@ const std::vector<std::string>& scenario_flags() {
       "scheduler", "bucket",      "seed",      "batches",  "lambda",
       "interval",  "high-var",    "rescheduler", "elastic", "estimator",
       "tolerance", "oo-interval", "noise",     "csv",      "help",
+      "seeds",     "threads",
   };
   return flags;
 }
@@ -136,6 +137,42 @@ Scenario scenario_from_args(const Args& args) {
     s.config_override = cfg;
   }
   return s;
+}
+
+std::vector<std::uint64_t> parse_seed_list(const std::string& csv) {
+  std::vector<std::uint64_t> seeds;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    std::size_t end = csv.find(',', start);
+    if (end == std::string::npos) end = csv.size();
+    const std::string token = csv.substr(start, end - start);
+    if (token.empty()) throw std::runtime_error("empty seed in list: " + csv);
+    std::size_t pos = 0;
+    unsigned long long value = 0;
+    try {
+      value = std::stoull(token, &pos);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("bad seed: " + token);
+    }
+    if (pos != token.size()) throw std::runtime_error("bad seed: " + token);
+    seeds.push_back(static_cast<std::uint64_t>(value));
+    start = end + 1;
+  }
+  if (seeds.empty()) throw std::runtime_error("empty seed list");
+  return seeds;
+}
+
+std::vector<std::uint64_t> seeds_from_args(const Args& args,
+                                           std::vector<std::uint64_t> fallback) {
+  const auto v = args.get("seeds");
+  if (!v) return fallback;
+  return parse_seed_list(*v);
+}
+
+std::size_t threads_from_args(const Args& args) {
+  const long n = args.get_long_or("threads", 0);
+  if (n < 0) throw std::runtime_error("--threads must be >= 1");
+  return static_cast<std::size_t>(n);
 }
 
 }  // namespace cbs::harness::cli

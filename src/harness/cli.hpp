@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -50,6 +52,21 @@ class Args {
 [[nodiscard]] Scenario scenario_from_args(const Args& args);
 
 /// The flag set scenario_from_args understands (for constructing Args).
+/// Includes the sweep flags --seeds and --threads, so every bench binary
+/// accepts them uniformly.
 [[nodiscard]] const std::vector<std::string>& scenario_flags();
+
+/// Parses a comma-separated seed list ("42,7,1337"); throws on malformed
+/// input or an empty list.
+[[nodiscard]] std::vector<std::uint64_t> parse_seed_list(
+    const std::string& csv);
+
+/// The sweep's seed axis: `--seeds a,b,c` when given, else `fallback`.
+[[nodiscard]] std::vector<std::uint64_t> seeds_from_args(
+    const Args& args, std::vector<std::uint64_t> fallback);
+
+/// Worker-thread count for the experiment runner: `--threads N` when
+/// given (N >= 1), else 0 = hardware concurrency.
+[[nodiscard]] std::size_t threads_from_args(const Args& args);
 
 }  // namespace cbs::harness::cli

@@ -39,6 +39,12 @@ struct RunResult {
 /// QRSM on a synthetic factory corpus, schedules the batch arrivals, drives
 /// the simulation to completion, validates the outcome invariants (throws
 /// std::runtime_error on violation) and assembles the metrics.
+///
+/// Reentrant: every call builds its own Simulation, RNG streams and Logger
+/// from the scenario alone and shares no mutable state with concurrent
+/// calls, so the parallel runner (harness/runner.hpp) may invoke it from
+/// many threads at once. The result is a pure function of the scenario —
+/// identical at any thread count.
 [[nodiscard]] RunResult run_scenario(const Scenario& scenario);
 
 /// Runs the same scenario under several schedulers (paired workload) and

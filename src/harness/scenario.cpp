@@ -19,6 +19,8 @@ cbs::core::ControllerConfig Scenario::controller_config() const {
   cfg.scheduler = scheduler;
   cfg.estimator = estimator;
   cfg.enable_rescheduler = enable_rescheduler;
+  cfg.log_threshold = log_threshold;
+  cfg.log_sink = log_sink;
   return cfg;
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "core/config.hpp"
+#include "simcore/logging.hpp"
 #include "sla/cost.hpp"
 #include "sla/tickets.hpp"
 #include "workload/arrival.hpp"
@@ -44,6 +45,13 @@ struct Scenario {
   // Ticket SLA (§I) and pay-as-you-go billing evaluated on every run.
   cbs::sla::TicketPolicy ticket_policy{};
   cbs::sla::CostRates cost_rates{};
+
+  /// Per-run logging: each run's controller owns its Logger configured
+  /// from these fields, so concurrent run_scenario calls never share
+  /// mutable logging state. The default sink (stderr) is only reached for
+  /// warnings and above; set a sink to capture a run's log privately.
+  cbs::sim::LogLevel log_threshold = cbs::sim::LogLevel::kWarn;
+  cbs::sim::Logger::Sink log_sink{};
 
   /// Full controller override; when set, scheduler/estimator/rescheduler
   /// and network fields above are still applied on top of it.

@@ -18,6 +18,13 @@ enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
 /// The sink is injectable so tests can capture output and benches can mute
 /// it; the default sink writes to stderr. Logging below the threshold costs
 /// one branch — message formatting is skipped entirely.
+///
+/// Thread-safety: a Logger instance is not internally synchronized — give
+/// each simulation run its own Logger (ControllerConfig::log_threshold /
+/// log_sink route this per run). The process-wide global threshold is an
+/// atomic floor consulted only at construction, so building loggers on
+/// many threads is safe; it exists for coarse muting (CLI --quiet), not
+/// for per-run control.
 class Logger {
  public:
   using Sink = std::function<void(LogLevel, SimTime, std::string_view)>;

@@ -14,6 +14,21 @@ namespace cbs::sim {
 /// advancing the clock. The engine is single-threaded by design — all
 /// parallelism in the modeled system (clusters, concurrent transfers) is
 /// expressed as interleaved events, which keeps every run deterministic.
+///
+/// ## Thread-safety contract (the reentrancy rules of the whole stack)
+///
+/// A `Simulation` instance is confined to one thread: no member may be
+/// called concurrently, and no internal synchronization is performed.
+/// *Distinct* instances are fully independent — the engine, and every
+/// component layered on it (`src/net`, `src/compute`, `src/core`), holds
+/// no mutable global or function-local static state, so N simulations may
+/// run on N threads at once. This is what the parallel experiment runner
+/// (`harness/runner.hpp`) relies on. The only process-wide state in
+/// `simcore` is `Logger::global_threshold()`, an atomic that acts purely
+/// as a floor for newly built loggers; per-run log routing goes through
+/// per-controller sinks instead. Determinism is per-instance: a run's
+/// event trace depends only on its inputs (config + seed), never on what
+/// other threads do.
 class Simulation {
  public:
   Simulation() = default;

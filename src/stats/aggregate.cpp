@@ -1,0 +1,49 @@
+#include "stats/aggregate.hpp"
+
+#include <stdexcept>
+
+namespace cbs::stats {
+
+Summary& GroupedSummary::slot(const std::string& key) {
+  auto [it, inserted] = groups_.try_emplace(key);
+  if (inserted) order_.push_back(key);
+  return it->second;
+}
+
+void GroupedSummary::add(const std::string& key, double x) { slot(key).add(x); }
+
+void GroupedSummary::merge(const std::string& key, const Summary& s) {
+  slot(key).merge(s);
+}
+
+bool GroupedSummary::contains(const std::string& key) const {
+  return groups_.contains(key);
+}
+
+const Summary& GroupedSummary::at(const std::string& key) const {
+  static const Summary kEmpty{};
+  auto it = groups_.find(key);
+  return it == groups_.end() ? kEmpty : it->second;
+}
+
+SummaryMatrix::SummaryMatrix(std::vector<std::string> row_labels,
+                             std::vector<std::string> col_labels)
+    : rows_(std::move(row_labels)),
+      cols_(std::move(col_labels)),
+      cells_(rows_.size() * cols_.size()) {}
+
+void SummaryMatrix::add(std::size_t row, std::size_t col, double x) {
+  if (row >= rows_.size() || col >= cols_.size()) {
+    throw std::out_of_range("SummaryMatrix::add: cell out of range");
+  }
+  cells_[row * cols_.size() + col].add(x);
+}
+
+const Summary& SummaryMatrix::cell(std::size_t row, std::size_t col) const {
+  if (row >= rows_.size() || col >= cols_.size()) {
+    throw std::out_of_range("SummaryMatrix::cell: cell out of range");
+  }
+  return cells_[row * cols_.size() + col];
+}
+
+}  // namespace cbs::stats

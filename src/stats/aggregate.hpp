@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "stats/summary.hpp"
+
+namespace cbs::stats {
+
+/// Accumulates one `Summary` per string key, remembering first-insertion
+/// order so tables print in the order the caller produced the groups (e.g.
+/// plan order), not hash or lexicographic order.
+///
+/// This is the reduction primitive behind experiment-matrix aggregation:
+/// the harness maps each run to a group key ("scheduler/bucket", a sweep
+/// value, ...) and a metric, and this class folds seeds into per-cell
+/// mean/stddev/CI.
+class GroupedSummary {
+ public:
+  /// Adds observation `x` to group `key`, creating the group on first use.
+  void add(const std::string& key, double x);
+
+  /// Merges a whole summary into group `key`.
+  void merge(const std::string& key, const Summary& s);
+
+  [[nodiscard]] bool contains(const std::string& key) const;
+
+  /// Summary for `key`; an empty Summary if the group does not exist.
+  [[nodiscard]] const Summary& at(const std::string& key) const;
+
+  /// Group keys in first-insertion order.
+  [[nodiscard]] const std::vector<std::string>& keys() const noexcept {
+    return order_;
+  }
+
+  [[nodiscard]] std::size_t group_count() const noexcept {
+    return order_.size();
+  }
+
+ private:
+  Summary& slot(const std::string& key);
+
+  std::vector<std::string> order_;
+  std::unordered_map<std::string, Summary> groups_;
+};
+
+/// A dense labeled matrix of Summaries — the shape of every paper table:
+/// rows = one plan axis (e.g. bucket), cols = another (e.g. scheduler),
+/// each cell folding the remaining axes (seeds).
+class SummaryMatrix {
+ public:
+  SummaryMatrix(std::vector<std::string> row_labels,
+                std::vector<std::string> col_labels);
+
+  void add(std::size_t row, std::size_t col, double x);
+  [[nodiscard]] const Summary& cell(std::size_t row, std::size_t col) const;
+  [[nodiscard]] const std::vector<std::string>& row_labels() const noexcept {
+    return rows_;
+  }
+  [[nodiscard]] const std::vector<std::string>& col_labels() const noexcept {
+    return cols_;
+  }
+
+ private:
+  std::vector<std::string> rows_;
+  std::vector<std::string> cols_;
+  std::vector<Summary> cells_;  ///< row-major, rows_.size() * cols_.size()
+};
+
+}  // namespace cbs::stats

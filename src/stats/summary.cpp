@@ -49,6 +49,28 @@ double Summary::cov() const noexcept {
   return m == 0.0 ? 0.0 : stddev() / m;
 }
 
+double Summary::stderr_mean() const noexcept {
+  return count_ < 2 ? 0.0 : stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+namespace {
+
+/// Two-sided 97.5% Student-t critical values for df = 1..30; the normal
+/// quantile 1.96 is within 2% beyond df = 30.
+constexpr double kT975[] = {
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+
+}  // namespace
+
+double Summary::ci95_halfwidth() const noexcept {
+  if (count_ < 2) return 0.0;
+  const std::size_t df = count_ - 1;
+  const double t = df <= 30 ? kT975[df - 1] : 1.96;
+  return t * stderr_mean();
+}
+
 double quantile(std::vector<double> sample, double q) {
   assert(!sample.empty());
   assert(q >= 0.0 && q <= 1.0);

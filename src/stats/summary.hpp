@@ -19,6 +19,12 @@ class Summary {
   [[nodiscard]] double stddev() const noexcept;
   /// Coefficient of variation stddev/mean; 0 when mean == 0.
   [[nodiscard]] double cov() const noexcept;
+  /// Standard error of the mean; 0 when count < 2.
+  [[nodiscard]] double stderr_mean() const noexcept;
+  /// Half-width of the 95% confidence interval of the mean (Student-t with
+  /// n-1 degrees of freedom); 0 when count < 2. The interval is
+  /// [mean - h, mean + h].
+  [[nodiscard]] double ci95_halfwidth() const noexcept;
   [[nodiscard]] double min() const noexcept { return min_; }
   [[nodiscard]] double max() const noexcept { return max_; }
   [[nodiscard]] double total() const noexcept { return mean() * static_cast<double>(count_); }

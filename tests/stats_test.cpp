@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "simcore/rng.hpp"
 #include "stats/distributions.hpp"
 #include "stats/histogram.hpp"
+#include "stats/aggregate.hpp"
 #include "stats/summary.hpp"
 #include "stats/timeseries.hpp"
 
@@ -300,6 +302,67 @@ TEST(TimeSeriesTest, EqualTimestampsAllowed) {
   ts.add(1.0, 1.0);
   ts.add(1.0, 2.0);  // same instant, later write wins for t >= 1
   EXPECT_DOUBLE_EQ(ts.value_at(1.0), 2.0);
+}
+
+
+TEST(SummaryTest, Ci95HalfwidthMatchesStudentT) {
+  Summary s;
+  for (const double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  // n = 5 -> df = 4 -> t = 2.776; stderr = stddev/sqrt(5).
+  const double se = s.stddev() / std::sqrt(5.0);
+  EXPECT_DOUBLE_EQ(s.stderr_mean(), se);
+  EXPECT_NEAR(s.ci95_halfwidth(), 2.776 * se, 1e-3 * se);
+}
+
+TEST(SummaryTest, Ci95IsZeroForTinySamples) {
+  Summary s;
+  EXPECT_EQ(s.ci95_halfwidth(), 0.0);
+  s.add(3.0);
+  EXPECT_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(SummaryTest, Ci95UsesNormalQuantileForLargeSamples) {
+  Summary s;
+  for (int i = 0; i < 100; ++i) s.add(static_cast<double>(i % 7));
+  EXPECT_NEAR(s.ci95_halfwidth(), 1.96 * s.stderr_mean(),
+              1e-12 * s.stderr_mean());
+}
+
+TEST(GroupedSummaryTest, FoldsByKeyInFirstSeenOrder) {
+  GroupedSummary g;
+  g.add("b", 1.0);
+  g.add("a", 10.0);
+  g.add("b", 3.0);
+  ASSERT_EQ(g.group_count(), 2u);
+  EXPECT_EQ(g.keys()[0], "b");
+  EXPECT_EQ(g.keys()[1], "a");
+  EXPECT_TRUE(g.contains("a"));
+  EXPECT_FALSE(g.contains("c"));
+  EXPECT_DOUBLE_EQ(g.at("b").mean(), 2.0);
+  EXPECT_EQ(g.at("missing").count(), 0u);
+}
+
+TEST(GroupedSummaryTest, MergeFoldsWholeSummaries) {
+  Summary s;
+  s.add(2.0);
+  s.add(4.0);
+  GroupedSummary g;
+  g.add("k", 0.0);
+  g.merge("k", s);
+  EXPECT_EQ(g.at("k").count(), 3u);
+  EXPECT_DOUBLE_EQ(g.at("k").mean(), 2.0);
+}
+
+TEST(SummaryMatrixTest, RowMajorCellsAndLabels) {
+  SummaryMatrix m({"r0", "r1"}, {"c0", "c1", "c2"});
+  m.add(1, 2, 5.0);
+  m.add(1, 2, 7.0);
+  EXPECT_EQ(m.cell(0, 0).count(), 0u);
+  EXPECT_DOUBLE_EQ(m.cell(1, 2).mean(), 6.0);
+  EXPECT_EQ(m.row_labels().size(), 2u);
+  EXPECT_EQ(m.col_labels().size(), 3u);
+  EXPECT_THROW(static_cast<void>(m.cell(2, 0)), std::out_of_range);
+  EXPECT_THROW(m.add(0, 3, 1.0), std::out_of_range);
 }
 
 }  // namespace
