@@ -9,7 +9,8 @@ using cbs::sim::SimTime;
 
 Cluster::Cluster(cbs::sim::Simulation& sim, std::string name, std::size_t machines,
                  double speed)
-    : sim_(sim), name_(std::move(name)), speed_(speed), machines_(machines) {
+    : sim_(sim), name_(std::move(name)), speed_(speed), machines_(machines),
+      running_tasks_(machines) {
   assert(machines > 0);
   assert(speed > 0.0);
   active_machines_ = machines;
@@ -41,6 +42,7 @@ std::size_t Cluster::add_machine() {
   }
   if (idx == machines_.size()) {
     machines_.emplace_back();
+    running_tasks_.emplace_back();
   } else {
     machines_[idx].retired = false;
     machines_[idx].retire_when_free = false;
@@ -87,11 +89,11 @@ TaskId Cluster::submit(double standard_service_seconds, std::uint64_t group_id,
 
 void Cluster::dispatch() {
   while (!queue_.empty()) {
-    // Lowest-indexed free, non-retired machine, if any.
+    // Lowest-indexed free, non-retired, non-crashed machine, if any.
     std::size_t free = machines_.size();
     for (std::size_t m = 0; m < machines_.size(); ++m) {
       if (!machines_[m].busy && !machines_[m].retired &&
-          !machines_[m].retire_when_free) {
+          !machines_[m].retire_when_free && !machines_[m].down) {
         free = m;
         break;
       }
@@ -107,17 +109,21 @@ void Cluster::dispatch() {
     machine.busy_since = sim_.now();
     ++running_;
 
-    const SimTime started = sim_.now();
     const double duration = task.standard_service / speed_;
-    // Move the task into the completion event; the machine index pins it.
-    sim_.schedule_in(duration,
-                     [this, free, task = std::move(task), started]() mutable {
-                       finish(free, std::move(task), started);
-                     });
+    // The task is parked on the machine (not in the event closure) so a
+    // crash can cancel the completion and reclaim it for re-execution.
+    Running run{std::move(task), sim_.now(), {}};
+    run.completion = sim_.schedule_in(duration, [this, free] { finish(free); });
+    running_tasks_[free] = std::move(run);
   }
 }
 
-void Cluster::finish(std::size_t machine_idx, Pending task, SimTime started) {
+void Cluster::finish(std::size_t machine_idx) {
+  assert(running_tasks_[machine_idx].has_value());
+  Pending task = std::move(running_tasks_[machine_idx]->task);
+  const SimTime started = running_tasks_[machine_idx]->started;
+  running_tasks_[machine_idx].reset();
+
   Machine& machine = machines_[machine_idx];
   machine.busy = false;
   machine.busy_accum += sim_.now() - machine.busy_since;
@@ -147,6 +153,55 @@ void Cluster::finish(std::size_t machine_idx, Pending task, SimTime started) {
   if (queue_.empty() && !machines_[machine_idx].busy && idle_hook_) {
     idle_hook_(machine_idx);
   }
+}
+
+bool Cluster::crash_machine(std::size_t machine_idx) {
+  if (machine_idx >= machines_.size()) return false;
+  Machine& machine = machines_[machine_idx];
+  if (machine.retired || machine.down) return false;
+  ++crashes_;
+  if (machine.busy) {
+    Running& run = *running_tasks_[machine_idx];
+    sim_.cancel(run.completion);
+    // Cycles burned so far are both paid for (busy time) and wasted (the
+    // re-execution starts from scratch).
+    const double lost_wall = sim_.now() - run.started;
+    wasted_standard_seconds_ += lost_wall * speed_;
+    machine.busy = false;
+    machine.busy_accum += sim_.now() - machine.busy_since;
+    --running_;
+    ++reexecutions_;
+    Pending task = std::move(run.task);
+    running_tasks_[machine_idx].reset();
+    // Head of the queue: the lost task keeps its FCFS position.
+    queued_standard_seconds_ += task.standard_service;
+    queue_.push_front(std::move(task));
+  }
+  if (machine.retire_when_free) {
+    // The machine was draining toward retirement anyway — retire it now
+    // instead of parking it in the down state.
+    machine.retire_when_free = false;
+    machine.retired = true;
+    --active_machines_;
+    note_provision_change(active_machines_);
+  } else {
+    machine.down = true;
+    ++down_;
+  }
+  // The reclaimed task may fit on another free machine right away.
+  dispatch();
+  return true;
+}
+
+bool Cluster::recover_machine(std::size_t machine_idx) {
+  if (machine_idx >= machines_.size()) return false;
+  Machine& machine = machines_[machine_idx];
+  if (!machine.down) return false;
+  machine.down = false;
+  assert(down_ > 0);
+  --down_;
+  dispatch();
+  return true;
 }
 
 double Cluster::machine_busy_time(std::size_t machine) const {

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -102,11 +103,41 @@ class Cluster {
   /// for). For a static cluster this equals machine_count() * now.
   [[nodiscard]] double provisioned_machine_seconds() const;
 
+  // ---- Fault injection (crash/recover, driven by sim::FaultPlan) -----
+
+  /// Crashes one machine: its running task (if any) is lost mid-flight and
+  /// re-queued at the *front* of the FCFS queue — the work is re-executed
+  /// from scratch and the partial compute is counted as wasted. The machine
+  /// stays down (never dispatched) until recover_machine(). A machine that
+  /// was draining toward retirement is retired on the spot. Returns false
+  /// for an unknown, retired or already-down machine.
+  bool crash_machine(std::size_t machine);
+
+  /// Brings a crashed machine back; it immediately pulls queued work.
+  /// Returns false unless the machine is currently down.
+  bool recover_machine(std::size_t machine);
+
+  /// Machines currently down (crashed, not yet recovered).
+  [[nodiscard]] std::size_t down_machines() const noexcept { return down_; }
+  /// Crash events applied so far.
+  [[nodiscard]] std::uint64_t crashes() const noexcept { return crashes_; }
+  /// Tasks that lost a machine mid-run and were re-queued for a full
+  /// re-execution.
+  [[nodiscard]] std::uint64_t reexecutions() const noexcept {
+    return reexecutions_;
+  }
+  /// Standard (speed-1) service seconds of partial work destroyed by
+  /// crashes — the wasted-compute bill of the fault model.
+  [[nodiscard]] double wasted_standard_seconds() const noexcept {
+    return wasted_standard_seconds_;
+  }
+
  private:
   struct Machine {
     bool busy = false;
     bool retired = false;        ///< released; never dispatched again
     bool retire_when_free = false;
+    bool down = false;           ///< crashed; awaiting recover_machine()
     double busy_accum = 0.0;
     cbs::sim::SimTime busy_since = 0.0;
   };
@@ -119,8 +150,16 @@ class Cluster {
     Callback on_complete;
   };
 
+  /// The task executing on one machine, kept out of the completion-event
+  /// closure so a crash can cancel the event and reclaim the task.
+  struct Running {
+    Pending task;
+    cbs::sim::SimTime started = 0.0;
+    cbs::sim::EventId completion{};
+  };
+
   void dispatch();
-  void finish(std::size_t machine, Pending task, cbs::sim::SimTime started);
+  void finish(std::size_t machine);
 
   void note_provision_change(std::size_t new_count);
 
@@ -128,7 +167,12 @@ class Cluster {
   std::string name_;
   double speed_;
   std::vector<Machine> machines_;
+  std::vector<std::optional<Running>> running_tasks_;  ///< parallel to machines_
   std::size_t active_machines_ = 0;
+  std::size_t down_ = 0;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t reexecutions_ = 0;
+  double wasted_standard_seconds_ = 0.0;
   // Provisioned machine-seconds accounting.
   double provision_accum_ = 0.0;
   cbs::sim::SimTime provision_since_ = 0.0;

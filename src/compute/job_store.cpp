@@ -5,7 +5,73 @@
 
 namespace cbs::compute {
 
-JobStore::JobStore(cbs::sim::Simulation& sim) : sim_(sim) {}
+JobStore::JobStore(cbs::sim::Simulation& sim, Config config)
+    : sim_(sim), config_(config) {
+  assert(config_.max_attempts >= 1);
+  assert(config_.retry_backoff >= 0.0);
+  assert(config_.backoff_multiplier >= 1.0);
+  assert(config_.capacity_bytes >= 0.0);
+}
+
+cbs::sim::SimDuration JobStore::backoff_delay(int attempt) const {
+  // attempt 0 failed -> wait retry_backoff, then grow geometrically.
+  double delay = config_.retry_backoff;
+  for (int i = 0; i < attempt; ++i) delay *= config_.backoff_multiplier;
+  return std::min(delay, config_.max_backoff);
+}
+
+void JobStore::attempt_put(const std::string& key, double bytes,
+                           PutHandler done, int attempt) {
+  const double delta = bytes - size_of(key);  // overwrite frees the old object
+  if (available_ && occupancy_ + delta <= config_.capacity_bytes) {
+    put(key, bytes);
+    if (done) done(true);
+    return;
+  }
+  ++failed_attempts_;
+  if (attempt + 1 >= config_.max_attempts) {
+    ++abandoned_ops_;
+    if (done) done(false);
+    return;
+  }
+  sim_.schedule_in(backoff_delay(attempt),
+                   [this, key, bytes, done = std::move(done), attempt] {
+                     attempt_put(key, bytes, done, attempt + 1);
+                   });
+}
+
+void JobStore::put_async(const std::string& key, double bytes,
+                         PutHandler done) {
+  attempt_put(key, bytes, std::move(done), 0);
+}
+
+void JobStore::attempt_get(const std::string& key, GetHandler done,
+                           int attempt) {
+  if (available_) {
+    auto it = objects_.find(key);
+    if (it == objects_.end()) {
+      // Absence on a healthy store is a definite answer, not a fault.
+      if (done) done(false, 0.0);
+    } else {
+      if (done) done(true, it->second);
+    }
+    return;
+  }
+  ++failed_attempts_;
+  if (attempt + 1 >= config_.max_attempts) {
+    ++abandoned_ops_;
+    if (done) done(false, 0.0);
+    return;
+  }
+  sim_.schedule_in(backoff_delay(attempt),
+                   [this, key, done = std::move(done), attempt] {
+                     attempt_get(key, done, attempt + 1);
+                   });
+}
+
+void JobStore::get_async(const std::string& key, GetHandler done) {
+  attempt_get(key, std::move(done), 0);
+}
 
 void JobStore::integrate() {
   byte_seconds_ += occupancy_ * (sim_.now() - last_change_);

@@ -1,10 +1,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <limits>
 #include <string>
 #include <unordered_map>
 
 #include "simcore/simulation.hpp"
+#include "simcore/time.hpp"
 #include "stats/timeseries.hpp"
 
 namespace cbs::compute {
@@ -13,9 +16,34 @@ namespace cbs::compute {
 /// uploaded job inputs land here before EMR picks them up, and compressed
 /// outputs wait here for download. Tracks occupancy over time so benches
 /// can report peak staging footprint.
+///
+/// The synchronous put/size_of/erase API models the fault-free control
+/// plane. The asynchronous put_async/get_async paths add S3-style
+/// best-effort semantics: while the store is unavailable (an EC outage) or
+/// over capacity, an attempt fails and is retried after exponential
+/// backoff, giving up after `Config::max_attempts`. With the store
+/// available and capacity unconstrained (the defaults), the async paths
+/// complete synchronously and schedule no events — the fault layer is free
+/// when disabled.
 class JobStore {
  public:
-  explicit JobStore(cbs::sim::Simulation& sim);
+  struct Config {
+    /// Attempts per operation (first try included). At least 1.
+    int max_attempts = 6;
+    /// Delay before the first retry; grows by `backoff_multiplier` per
+    /// subsequent retry, capped at `max_backoff`.
+    cbs::sim::SimDuration retry_backoff = 2.0;
+    double backoff_multiplier = 2.0;
+    cbs::sim::SimDuration max_backoff = 60.0;
+    /// Byte capacity; a put that would overflow it fails (and retries).
+    double capacity_bytes = std::numeric_limits<double>::infinity();
+  };
+
+  using PutHandler = std::function<void(bool ok)>;
+  using GetHandler = std::function<void(bool ok, double bytes)>;
+
+  explicit JobStore(cbs::sim::Simulation& sim) : JobStore(sim, Config{}) {}
+  JobStore(cbs::sim::Simulation& sim, Config config);
   JobStore(const JobStore&) = delete;
   JobStore& operator=(const JobStore&) = delete;
 
@@ -30,6 +58,31 @@ class JobStore {
   /// Removes an object; no-op if absent. Returns the freed bytes.
   double erase(const std::string& key);
 
+  // ---- Best-effort paths (retry/backoff against outages) -------------
+
+  /// Availability switch, driven by the EC outage windows of the fault
+  /// plan. While false, every async attempt fails.
+  void set_available(bool available) noexcept { available_ = available; }
+  [[nodiscard]] bool available() const noexcept { return available_; }
+
+  /// Stores `bytes` under `key` with retry/backoff; `done(ok)` fires once,
+  /// synchronously when the first attempt succeeds.
+  void put_async(const std::string& key, double bytes, PutHandler done);
+
+  /// Fetches the object size with the same retry semantics. A missing key
+  /// on an *available* store fails immediately (no retry — absence is a
+  /// definite answer, not an outage).
+  void get_async(const std::string& key, GetHandler done);
+
+  /// Async attempts that failed (unavailable or over capacity).
+  [[nodiscard]] std::uint64_t failed_attempts() const noexcept {
+    return failed_attempts_;
+  }
+  /// Operations that exhausted max_attempts and reported ok = false.
+  [[nodiscard]] std::uint64_t abandoned_ops() const noexcept {
+    return abandoned_ops_;
+  }
+
   [[nodiscard]] double occupancy_bytes() const noexcept { return occupancy_; }
   [[nodiscard]] double peak_occupancy_bytes() const noexcept { return peak_; }
   /// Integral of occupancy over time (byte-seconds) — the storage-billing
@@ -39,11 +92,20 @@ class JobStore {
   [[nodiscard]] const cbs::stats::TimeSeries& occupancy_history() const noexcept {
     return history_;
   }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
 
  private:
   cbs::sim::Simulation& sim_;
   void integrate();
+  [[nodiscard]] cbs::sim::SimDuration backoff_delay(int attempt) const;
+  void attempt_put(const std::string& key, double bytes, PutHandler done,
+                   int attempt);
+  void attempt_get(const std::string& key, GetHandler done, int attempt);
 
+  Config config_;
+  bool available_ = true;
+  std::uint64_t failed_attempts_ = 0;
+  std::uint64_t abandoned_ops_ = 0;
   std::unordered_map<std::string, double> objects_;
   double occupancy_ = 0.0;
   double peak_ = 0.0;

@@ -4,9 +4,11 @@
 #include <string>
 #include <string_view>
 
+#include "compute/job_store.hpp"
 #include "net/bandwidth_estimator.hpp"
 #include "net/link.hpp"
 #include "net/thread_tuner.hpp"
+#include "simcore/fault_plan.hpp"
 #include "simcore/logging.hpp"
 #include "simcore/time.hpp"
 #include "workload/chunker.hpp"
@@ -118,6 +120,14 @@ struct ControllerConfig {
   bool enable_rescheduler = false;
 
   ElasticEcConfig elastic_ec{};
+
+  /// Fault injection and burst-retraction recovery. Default-constructed =
+  /// fully disabled and zero-cost: no FaultPlan is built, no events are
+  /// scheduled, runs are byte-identical to a fault-free build.
+  cbs::sim::FaultConfig faults{};
+
+  /// EC staging-store retry/backoff/capacity knobs (S3 best-effort model).
+  cbs::compute::JobStore::Config store{};
 
   /// Concurrent uploads when a single upload queue is used; the
   /// size-interval scheduler uses one slot per interval queue instead.

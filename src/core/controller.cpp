@@ -48,7 +48,7 @@ CloudBurstController::CloudBurstController(cbs::sim::Simulation& sim,
       ec_runtime_(sim, ec_cluster_),
       uplink_(sim, config_.uplink, rng.substream("uplink")),
       downlink_(sim, config_.downlink, rng.substream("downlink")),
-      store_(sim),
+      store_(sim, config_.store),
       uplink_estimator_(config_.bandwidth_estimator),
       downlink_estimator_(config_.bandwidth_estimator),
       up_tuner_(config_.thread_tuner),
@@ -86,6 +86,22 @@ CloudBurstController::CloudBurstController(cbs::sim::Simulation& sim,
   }
   if (config_.enable_rescheduler) {
     ic_cluster_.set_idle_hook([this](std::size_t) { maybe_pull_back(); });
+  }
+  if (config_.faults.enabled()) {
+    fault_plan_ = std::make_unique<sim::FaultPlan>(sim_, config_.faults,
+                                                   rng.substream("faults"));
+    fault_plan_->set_active([this] { return outstanding_ > 0; });
+    fault_plan_->drive_vm_crashes(
+        "ic", config_.topology.ic_machines, config_.faults.ic_vm_mtbf,
+        [this](std::size_t m) { ic_cluster_.crash_machine(m); },
+        [this](std::size_t m) { ic_cluster_.recover_machine(m); });
+    fault_plan_->drive_vm_crashes(
+        "ec", config_.topology.ec_machines, config_.faults.ec_vm_mtbf,
+        [this](std::size_t m) { ec_cluster_.crash_machine(m); },
+        [this](std::size_t m) { ec_cluster_.recover_machine(m); });
+    fault_plan_->drive_outages(
+        [this](const sim::OutageWindow&) { on_outage_begin(); },
+        [this] { on_outage_end(); });
   }
 }
 
@@ -150,11 +166,13 @@ void CloudBurstController::on_batch(const cbs::workload::Batch& batch) {
     } else {
       set_state(it->second, JobState::kUploadQueued);
       upload_queues_.enqueue(d.seq_id, d.doc.input_bytes(), d.upload_class);
+      arm_burst_deadline(d.seq_id);
     }
   }
   dispatch_ic();
   ensure_probing();
   ensure_elastic_check();
+  if (fault_plan_) fault_plan_->ensure_armed();
   if (config_.enable_rescheduler && upload_queues_.idle()) {
     maybe_push_out();
   }
@@ -222,13 +240,30 @@ void CloudBurstController::on_ic_done(std::uint64_t seq) {
 
 void CloudBurstController::on_upload_done(std::uint64_t seq,
                                           const net::TransferRecord& rec) {
+  disarm_burst_deadline(seq);  // past the retractable phase
   uplink_estimator_.observe(sim_.now(), rec.transfer_rate());
   up_tuner_.report(sim_.now(), rec.threads, rec.transfer_rate());
   belief_.on_upload_complete(rec.bytes);
 
+  // Stage the input. With the store healthy this completes synchronously;
+  // during an outage it retries with backoff, and a permanent failure
+  // falls back to internal execution (the upload was wasted).
+  store_.put_async(input_key(seq), rec.bytes, [this, seq](bool ok) {
+    if (ok) {
+      start_ec_processing(seq);
+    } else {
+      readmit_to_ic(seq, 0.0, "input staging abandoned");
+    }
+  });
+
+  if (config_.enable_rescheduler && upload_queues_.idle()) {
+    maybe_push_out();
+  }
+}
+
+void CloudBurstController::start_ec_processing(std::uint64_t seq) {
   Job& job = job_at(seq);
   set_state(job, JobState::kEcRunning);
-  store_.put(input_key(seq), rec.bytes);
   compute::MapReduceSpec spec =
       spec_for(job, config_.topology.merge_seconds_per_output_mb);
   // EMR job setup/staging occupies the executing instance; book it on the
@@ -239,10 +274,6 @@ void CloudBurstController::on_upload_done(std::uint64_t seq,
                   [this, seq](const compute::MapReduceRecord&) {
                     on_ec_proc_done(seq);
                   });
-
-  if (config_.enable_rescheduler && upload_queues_.idle()) {
-    maybe_push_out();
-  }
 }
 
 void CloudBurstController::on_ec_proc_done(std::uint64_t seq) {
@@ -250,9 +281,18 @@ void CloudBurstController::on_ec_proc_done(std::uint64_t seq) {
   // The merge task already covered compression cost; swap input for the
   // compressed output in the store and ship it home.
   store_.erase(input_key(seq));
-  store_.put(output_key(seq), job.doc.output_bytes());
-  set_state(job, JobState::kDownloading);
-  download_queue_.enqueue(seq, job.doc.output_bytes(), 0);
+  store_.put_async(
+      output_key(seq), job.doc.output_bytes(), [this, seq](bool ok) {
+        if (!ok) {
+          // The result exists only on EC and cannot be staged for download:
+          // the external execution is wasted, re-run internally.
+          readmit_to_ic(seq, 0.0, "output staging abandoned");
+          return;
+        }
+        Job& j = job_at(seq);
+        set_state(j, JobState::kDownloading);
+        download_queue_.enqueue(seq, j.doc.output_bytes(), 0);
+      });
 }
 
 void CloudBurstController::on_download_done(std::uint64_t seq,
@@ -298,6 +338,13 @@ void CloudBurstController::ensure_probing() {
 void CloudBurstController::probe() {
   probe_scheduled_ = false;
   if (outstanding_ == 0) return;  // run over; stop generating events
+  if (config_.faults.in_probe_blackout(sim_.now())) {
+    // Probe infrastructure is down: skip the measurement but keep the
+    // cadence, so the EWMA model simply goes stale for the window.
+    ++probe_blackout_skips_;
+    ensure_probing();
+    return;
+  }
 
   const int up_threads = up_tuner_.suggest(sim_.now());
   uplink_.submit(config_.probe_bytes, up_threads,
@@ -313,6 +360,85 @@ void CloudBurstController::probe() {
                                         rec.transfer_rate());
                    });
   ensure_probing();
+}
+
+// ---- fault recovery: burst retraction (deadline / outage / staging) -----
+
+void CloudBurstController::arm_burst_deadline(std::uint64_t seq) {
+  if (config_.faults.retraction_deadline_factor <= 0.0) return;
+  Job& job = job_at(seq);
+  // Allow `factor` times the believed unloaded round trip for the upload
+  // phase; past that, the burst is doing worse than the estimate that
+  // justified it and an internal re-execution is the safer bet.
+  const double round_trip = belief_.ec_round_trip_no_load(job.doc, sim_.now());
+  const double delay =
+      config_.faults.retraction_deadline_factor * std::max(round_trip, 1.0);
+  burst_deadlines_[seq] =
+      sim_.schedule_in(delay, [this, seq] { on_burst_deadline(seq); });
+}
+
+void CloudBurstController::disarm_burst_deadline(std::uint64_t seq) {
+  auto it = burst_deadlines_.find(seq);
+  if (it == burst_deadlines_.end()) return;
+  sim_.cancel(it->second);
+  burst_deadlines_.erase(it);
+}
+
+void CloudBurstController::on_burst_deadline(std::uint64_t seq) {
+  burst_deadlines_.erase(seq);
+  Job& job = job_at(seq);
+  // Only the upload phase is retractable: once the input is staged the
+  // remaining EC work is believed cheaper than starting over internally.
+  if (job.state != JobState::kUploadQueued) return;
+  const bool cancelled = upload_queues_.try_cancel(seq) ||
+                         upload_queues_.try_cancel_active(seq);
+  assert(cancelled);
+  (void)cancelled;
+  readmit_to_ic(seq, job.doc.input_bytes(), "round-trip deadline exceeded");
+}
+
+void CloudBurstController::readmit_to_ic(std::uint64_t seq,
+                                         double pending_upload_bytes,
+                                         const char* why) {
+  Job& job = job_at(seq);
+  belief_.retract_ec(seq, pending_upload_bytes);
+  belief_.commit_ic(seq, job.estimated_service_seconds);
+  job.placement = Placement::kInternal;
+  set_state(job, JobState::kIcWaiting);
+  admit_ic_in_order(seq);
+  ++retractions_;
+  log_.info(sim_.now(), "burst retraction of job ", seq, ": ", why);
+  dispatch_ic();
+}
+
+void CloudBurstController::admit_ic_in_order(std::uint64_t seq) {
+  // Re-admission preserves FCFS: the job re-enters the IC feed queue at
+  // its sequence position, not at the tail.
+  const auto pos = std::lower_bound(ic_wait_.begin(), ic_wait_.end(), seq);
+  ic_wait_.insert(pos, seq);
+}
+
+void CloudBurstController::on_outage_begin() {
+  log_.warn(sim_.now(), "EC outage begins: links down, store unavailable");
+  uplink_.set_outage(true);
+  downlink_.set_outage(true);
+  store_.set_available(false);
+  // The outage is observable (connection resets): pull every upload that
+  // has not started back to the IC instead of letting it queue into a
+  // dead pipe. In-flight transfers keep their slot and resume — or hit
+  // their retraction deadline — on their own.
+  for (const std::uint64_t seq : upload_queues_.queued_tags()) {
+    if (!upload_queues_.try_cancel(seq)) continue;
+    disarm_burst_deadline(seq);
+    readmit_to_ic(seq, job_at(seq).doc.input_bytes(), "EC outage observed");
+  }
+}
+
+void CloudBurstController::on_outage_end() {
+  log_.info(sim_.now(), "EC outage ends");
+  uplink_.set_outage(false);
+  downlink_.set_outage(false);
+  store_.set_available(true);
 }
 
 // ---- elastic EC scaling (§V.B.4 future work, behind a flag) -------------
@@ -412,6 +538,7 @@ void CloudBurstController::maybe_push_out() {
     job.placement = Placement::kExternal;
     set_state(job, JobState::kUploadQueued);
     upload_queues_.enqueue(seq, job.doc.input_bytes(), 0);
+    arm_burst_deadline(seq);
     ++push_outs_;
     log_.info(sim_.now(), "push-out of job ", seq, " to EC");
     return;

@@ -17,6 +17,7 @@
 #include "net/bandwidth_estimator.hpp"
 #include "net/link.hpp"
 #include "net/thread_tuner.hpp"
+#include "simcore/fault_plan.hpp"
 #include "simcore/logging.hpp"
 #include "simcore/rng.hpp"
 #include "simcore/simulation.hpp"
@@ -86,6 +87,18 @@ class CloudBurstController {
   /// Elastic-EC activity (scale-ups / scale-downs performed).
   [[nodiscard]] std::size_t scale_ups() const noexcept { return scale_ups_; }
   [[nodiscard]] std::size_t scale_downs() const noexcept { return scale_downs_; }
+  /// Bursts retracted by the recovery policy (deadline blown, EC outage
+  /// observed, or staging abandoned): the job was re-admitted to the IC
+  /// queue at its FCFS position and re-executed internally.
+  [[nodiscard]] std::size_t retractions() const noexcept { return retractions_; }
+  /// Periodic probes skipped because of a probe-blackout window.
+  [[nodiscard]] std::size_t probe_blackout_skips() const noexcept {
+    return probe_blackout_skips_;
+  }
+  /// The fault generator, or nullptr when faults are disabled.
+  [[nodiscard]] const cbs::sim::FaultPlan* fault_plan() const noexcept {
+    return fault_plan_.get();
+  }
   /// Billing inputs accumulated so far (provisioned EC machine-seconds,
   /// bytes moved each way, staging byte-seconds, IC machine-seconds).
   [[nodiscard]] sla::CostInputs cost_inputs() const;
@@ -106,7 +119,16 @@ class CloudBurstController {
   void run_on_ic(std::uint64_t seq);
   void on_ic_done(std::uint64_t seq);
   void on_upload_done(std::uint64_t seq, const net::TransferRecord& rec);
+  void start_ec_processing(std::uint64_t seq);
   void on_ec_proc_done(std::uint64_t seq);
+  void arm_burst_deadline(std::uint64_t seq);
+  void disarm_burst_deadline(std::uint64_t seq);
+  void on_burst_deadline(std::uint64_t seq);
+  void readmit_to_ic(std::uint64_t seq, double pending_upload_bytes,
+                     const char* why);
+  void admit_ic_in_order(std::uint64_t seq);
+  void on_outage_begin();
+  void on_outage_end();
   void on_download_done(std::uint64_t seq, const net::TransferRecord& rec);
   void finish_job(Job& job);
   void set_state(Job& job, JobState state);
@@ -156,6 +178,13 @@ class CloudBurstController {
   std::size_t pending_boots_ = 0;  ///< instances spinning up
   std::size_t scale_ups_ = 0;
   std::size_t scale_downs_ = 0;
+
+  // ---- fault layer (absent and cost-free unless configured) ----
+  std::unique_ptr<cbs::sim::FaultPlan> fault_plan_;
+  /// Pending burst-retraction deadlines: seq -> the deadline event.
+  std::map<std::uint64_t, cbs::sim::EventId> burst_deadlines_;
+  std::size_t retractions_ = 0;
+  std::size_t probe_blackout_skips_ = 0;
 };
 
 }  // namespace cbs::core

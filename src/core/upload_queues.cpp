@@ -37,6 +37,26 @@ bool TransferQueueSet::try_cancel(std::uint64_t tag) {
   return false;
 }
 
+void TransferQueueSet::release_slot(const ActiveItem& active) {
+  slots_[static_cast<std::size_t>(active.slot_klass)][active.slot].busy = false;
+  --active_count_;
+  active_bytes_per_class_[static_cast<std::size_t>(active.item.klass)] -=
+      active.item.bytes;
+}
+
+bool TransferQueueSet::try_cancel_active(std::uint64_t tag) {
+  auto it = active_.find(tag);
+  if (it == active_.end()) return false;
+  const ActiveItem active = it->second;
+  active_.erase(it);
+  const bool cancelled = link_.cancel(active.transfer);
+  assert(cancelled);
+  (void)cancelled;
+  release_slot(active);
+  pump();
+  return true;
+}
+
 int TransferQueueSet::pick_queue_for_class(int klass) const {
   // Own class first, then the nearest lower class with waiting work.
   for (int q = klass; q >= 0; --q) {
@@ -60,17 +80,21 @@ void TransferQueueSet::pump() {
       active_bytes_per_class_[static_cast<std::size_t>(item.klass)] += item.bytes;
 
       const int threads = tuner_.suggest(sim_.now());
-      link_.submit(item.bytes, threads,
-                   [this, item, klass, s](const cbs::net::TransferRecord& rec) {
-                     slots_[static_cast<std::size_t>(klass)][s].busy = false;
-                     --active_count_;
-                     active_bytes_per_class_[static_cast<std::size_t>(
-                         item.klass)] -= item.bytes;
-                     // Serve the freed slot before notifying, so the pipe
-                     // never idles across the callback.
-                     pump();
-                     if (on_complete_) on_complete_(item.tag, item.klass, rec);
-                   });
+      const std::uint64_t tag = item.tag;
+      const cbs::net::TransferId id = link_.submit(
+          item.bytes, threads,
+          [this, tag](const cbs::net::TransferRecord& rec) {
+            auto it = active_.find(tag);
+            assert(it != active_.end());
+            const ActiveItem done = it->second;
+            active_.erase(it);
+            release_slot(done);
+            // Serve the freed slot before notifying, so the pipe never
+            // idles across the callback.
+            pump();
+            if (on_complete_) on_complete_(done.item.tag, done.item.klass, rec);
+          });
+      active_.emplace(tag, ActiveItem{item, klass, s, id});
     }
   }
 }

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <vector>
 
 #include "net/link.hpp"
@@ -46,6 +47,12 @@ class TransferQueueSet {
   /// rescheduler uses this to pull jobs back before upload begins.
   bool try_cancel(std::uint64_t tag);
 
+  /// Cancels an *in-flight* transfer: the underlying link transfer is
+  /// aborted (progress wasted) and the slot freed. Returns false for an
+  /// unknown tag. The burst-retraction policy uses this when a job must be
+  /// reclaimed after its upload already started.
+  bool try_cancel_active(std::uint64_t tag);
+
   /// Bytes waiting or in flight, per class (Algorithm 3's s_up/m_up/l_up).
   [[nodiscard]] std::vector<double> backlog_bytes_per_class() const;
   [[nodiscard]] double total_backlog_bytes() const;
@@ -71,7 +78,15 @@ class TransferQueueSet {
     bool busy = false;
   };
 
+  struct ActiveItem {
+    Item item;
+    int slot_klass = 0;        ///< class whose slot carries it (ride-up)
+    std::size_t slot = 0;
+    cbs::net::TransferId transfer{};
+  };
+
   void pump();
+  void release_slot(const ActiveItem& active);
   [[nodiscard]] int pick_queue_for_class(int klass) const;
 
   cbs::sim::Simulation& sim_;
@@ -79,6 +94,8 @@ class TransferQueueSet {
   cbs::net::ThreadTuner& tuner_;
   std::vector<std::deque<Item>> queues_;
   std::vector<std::vector<Slot>> slots_;  // per class
+  // std::map: deterministic iteration, and cancellation needs tag lookup.
+  std::map<std::uint64_t, ActiveItem> active_;
   std::size_t active_count_ = 0;
   std::vector<double> active_bytes_per_class_;
   CompletionHandler on_complete_;

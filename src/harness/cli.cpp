@@ -99,6 +99,8 @@ const std::vector<std::string>& scenario_flags() {
       "interval",  "high-var",    "rescheduler", "elastic", "estimator",
       "tolerance", "oo-interval", "noise",     "csv",      "help",
       "seeds",     "threads",
+      // Fault layer (simcore/fault_plan.hpp knobs).
+      "ic-mtbf",   "ec-mtbf",     "vm-recovery", "retraction-factor",
   };
   return flags;
 }
@@ -136,6 +138,13 @@ Scenario scenario_from_args(const Args& args) {
     cfg.elastic_ec.max_machines = 6;
     s.config_override = cfg;
   }
+
+  s.faults.ic_vm_mtbf = args.get_double_or("ic-mtbf", 0.0);
+  s.faults.ec_vm_mtbf = args.get_double_or("ec-mtbf", 0.0);
+  s.faults.vm_recovery_seconds =
+      args.get_double_or("vm-recovery", s.faults.vm_recovery_seconds);
+  s.faults.retraction_deadline_factor =
+      args.get_double_or("retraction-factor", 0.0);
   return s;
 }
 

@@ -82,6 +82,28 @@ RunResult run_scenario(const Scenario& scenario) {
   result.push_outs = controller.push_outs();
   result.peak_store_bytes = controller.store().peak_occupancy_bytes();
 
+  result.faults.ic_crashes = controller.ic_cluster().crashes();
+  result.faults.ec_crashes = controller.ec_cluster().crashes();
+  result.faults.reexecutions = controller.ic_cluster().reexecutions() +
+                               controller.ec_cluster().reexecutions();
+  result.faults.wasted_compute_seconds =
+      controller.ic_cluster().wasted_standard_seconds() +
+      controller.ec_cluster().wasted_standard_seconds();
+  result.faults.link_outage_aborts =
+      controller.uplink().outage_aborts() + controller.downlink().outage_aborts();
+  result.faults.link_drops = controller.uplink().injected_failures() +
+                             controller.downlink().injected_failures();
+  result.faults.wasted_transfer_bytes =
+      controller.uplink().wasted_bytes() + controller.downlink().wasted_bytes();
+  result.faults.retractions = controller.retractions();
+  result.faults.store_retries = controller.store().failed_attempts();
+  result.faults.store_abandoned = controller.store().abandoned_ops();
+  result.faults.probe_blackout_skips = controller.probe_blackout_skips();
+  if (const auto* plan = controller.fault_plan()) {
+    result.faults.crashes_injected = plan->crashes_injected();
+    result.faults.outages = plan->outages_started();
+  }
+
   result.report = cbs::sla::build_report(
       std::string(cbs::core::to_string(scenario.scheduler)),
       std::string(cbs::workload::to_string(scenario.bucket)), result.outcomes,

@@ -13,6 +13,24 @@
 
 namespace cbs::harness {
 
+/// Fault-injection and recovery activity of one run (all zero for a
+/// fault-free scenario).
+struct FaultStats {
+  std::uint64_t ic_crashes = 0;       ///< effective VM crashes on the IC
+  std::uint64_t ec_crashes = 0;
+  std::uint64_t reexecutions = 0;     ///< tasks reclaimed from crashed VMs
+  double wasted_compute_seconds = 0.0;  ///< standard seconds burned and lost
+  std::uint64_t link_outage_aborts = 0;  ///< transfers severed by outages
+  std::uint64_t link_drops = 0;          ///< injected connection drops
+  double wasted_transfer_bytes = 0.0;    ///< moved and lost (both directions)
+  std::uint64_t retractions = 0;      ///< bursts pulled back to the IC
+  std::uint64_t store_retries = 0;    ///< failed staging attempts
+  std::uint64_t store_abandoned = 0;  ///< staging ops that gave up
+  std::uint64_t probe_blackout_skips = 0;
+  std::uint64_t crashes_injected = 0;  ///< plan-level crash events fired
+  std::uint64_t outages = 0;           ///< merged outage windows entered
+};
+
 /// Everything a bench or test needs from one finished run.
 struct RunResult {
   Scenario scenario;
@@ -33,6 +51,8 @@ struct RunResult {
   cbs::sla::TicketReport tickets{};
   /// Pay-as-you-go bill (scenario.cost_rates).
   cbs::sla::CostReport cost{};
+  /// Fault/recovery counters (all zero when faults are disabled).
+  FaultStats faults{};
 };
 
 /// Runs one scenario end to end: builds the hybrid cloud, pretrains the

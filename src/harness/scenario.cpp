@@ -19,6 +19,7 @@ cbs::core::ControllerConfig Scenario::controller_config() const {
   cfg.scheduler = scheduler;
   cfg.estimator = estimator;
   cfg.enable_rescheduler = enable_rescheduler;
+  if (faults.enabled()) cfg.faults = faults;
   cfg.log_threshold = log_threshold;
   cfg.log_sink = log_sink;
   return cfg;

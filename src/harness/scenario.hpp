@@ -35,6 +35,11 @@ struct Scenario {
   bool high_network_variation = false;
   bool enable_rescheduler = false;
 
+  /// Fault injection and burst-retraction recovery (simcore/fault_plan.hpp).
+  /// Default-constructed = disabled; the run is then byte-identical to one
+  /// without the fault layer.
+  cbs::sim::FaultConfig faults{};
+
   // QRSM factory prior: corpus size used for pretraining (0 disables).
   std::size_t pretrain_samples = 120;
 

@@ -40,8 +40,13 @@ TransferId Link::submit(double bytes, int threads, CompletionHandler on_complete
   a.requested = sim_.now();
   a.on_complete = std::move(on_complete);
   active_.emplace(id, std::move(a));
-  sim_.schedule_in(config_.setup_latency, [this, id] { activate(id); });
+  schedule_activation(id, config_.setup_latency);
   return id;
+}
+
+void Link::schedule_activation(TransferId id, cbs::sim::SimDuration delay) {
+  active_.at(id).activation_event =
+      sim_.schedule_in(delay, [this, id] { activate(id); });
 }
 
 void Link::arm_failure(Active& transfer) {
@@ -60,6 +65,12 @@ void Link::arm_failure(Active& transfer) {
 void Link::activate(TransferId id) {
   auto it = active_.find(id);
   assert(it != active_.end());
+  if (outage_) {
+    // The link is down: hold the connection attempt until the outage
+    // lifts (set_outage(false) reactivates every waiting transfer).
+    it->second.waiting_outage = true;
+    return;
+  }
   it->second.activated = true;
   if (it->second.started == 0.0) it->second.started = sim_.now();
   it->second.last_progress = sim_.now();
@@ -84,13 +95,13 @@ void Link::progress_all() {
       // reconnects (fresh setup latency) and restarts from byte zero.
       ++injected_failures_;
       ++a.retries;
+      wasted_bytes_ += a.bytes_total - a.bytes_remaining;
       a.bytes_remaining = a.bytes_total;
       a.fail_below_remaining = 0.0;
       a.activated = false;
       a.rate = 0.0;
       sim_.cancel(a.completion_event);
-      const TransferId tid = id;
-      sim_.schedule_in(config_.setup_latency, [this, tid] { activate(tid); });
+      schedule_activation(id, config_.setup_latency);
     }
   }
 }
@@ -183,6 +194,62 @@ void Link::complete(TransferId id) {
     tick_scheduled_ = false;
   }
   if (handler) handler(rec);
+}
+
+bool Link::cancel(TransferId id) {
+  auto it = active_.find(id);
+  if (it == active_.end()) return false;
+  progress_all();
+  Active& a = it->second;
+  sim_.cancel(a.completion_event);
+  sim_.cancel(a.activation_event);
+  if (a.activated) wasted_bytes_ += a.bytes_total - a.bytes_remaining;
+  active_.erase(it);
+  note_busy_transition();
+  reallocate();
+  if (active_.empty() && tick_scheduled_) {
+    sim_.cancel(tick_event_);
+    tick_scheduled_ = false;
+  }
+  return true;
+}
+
+void Link::set_outage(bool down) {
+  if (down == outage_) return;
+  if (down) {
+    // Sever every established connection: progress is lost, the transfer
+    // parks until the outage lifts. Connection attempts still in setup
+    // are parked by activate() when their event fires.
+    progress_all();
+    outage_ = true;
+    for (auto& [id, a] : active_) {
+      if (!a.activated) continue;
+      sim_.cancel(a.completion_event);
+      wasted_bytes_ += a.bytes_total - a.bytes_remaining;
+      ++outage_aborts_;
+      ++a.outage_aborts;
+      a.bytes_remaining = a.bytes_total;
+      a.fail_below_remaining = 0.0;
+      a.activated = false;
+      a.rate = 0.0;
+      a.waiting_outage = true;
+    }
+    return;
+  }
+  outage_ = false;
+  for (auto& [id, a] : active_) {
+    if (!a.waiting_outage) continue;
+    a.waiting_outage = false;
+    double backoff = 0.0;
+    if (a.outage_aborts > 0) {
+      backoff = config_.outage_backoff_base;
+      for (int i = 1; i < a.outage_aborts; ++i) {
+        backoff *= config_.outage_backoff_multiplier;
+      }
+      backoff = std::min(backoff, config_.outage_max_backoff);
+    }
+    schedule_activation(id, config_.setup_latency + backoff);
+  }
 }
 
 void Link::ensure_tick() {

@@ -41,6 +41,13 @@ struct LinkConfig {
   /// guaranteed. 0 disables.
   double failure_probability = 0.0;
   int max_retries = 3;
+  /// Outage reconnect policy (set_outage): an aborted transfer reconnects
+  /// `setup_latency + min(max, base * multiplier^(aborts-1))` after the
+  /// outage lifts — exponential backoff per repeated abort of the same
+  /// transfer, fully deterministic.
+  cbs::sim::SimDuration outage_backoff_base = 1.0;
+  double outage_backoff_multiplier = 2.0;
+  cbs::sim::SimDuration outage_max_backoff = 60.0;
 };
 
 using TransferId = std::uint64_t;
@@ -93,6 +100,20 @@ class Link {
   /// `on_complete` fires (as a simulation event) when the last byte lands.
   TransferId submit(double bytes, int threads, CompletionHandler on_complete);
 
+  /// Aborts an in-flight transfer: progress so far is wasted, no completion
+  /// fires. Returns false for an unknown/finished id. The controller's
+  /// burst-retraction policy uses this to reclaim a stalled upload.
+  bool cancel(TransferId id);
+
+  /// Whole-link outage switch (an EC unreachable window). Entering an
+  /// outage aborts every established connection — each active transfer
+  /// loses its progress and waits; when the outage lifts, transfers
+  /// reconnect after setup latency plus exponential backoff (see
+  /// LinkConfig::outage_backoff_*). Transfers submitted during an outage
+  /// wait for it to lift. Idempotent per direction.
+  void set_outage(bool down);
+  [[nodiscard]] bool in_outage() const noexcept { return outage_; }
+
   /// Ground-truth capacity at the current sim time. Advances the noise
   /// process, so this is the *actual* instantaneous capacity (schedulers
   /// must not call this — they see only BandwidthEstimator).
@@ -113,6 +134,14 @@ class Link {
   [[nodiscard]] std::uint64_t injected_failures() const noexcept {
     return injected_failures_;
   }
+  /// Transfers whose connection was severed by an outage window.
+  [[nodiscard]] std::uint64_t outage_aborts() const noexcept {
+    return outage_aborts_;
+  }
+  /// Payload bytes moved and then lost — to connection drops, outage
+  /// aborts and cancelled transfers. Useful bytes are in
+  /// total_bytes_delivered(); wasted + delivered is what the pipe carried.
+  [[nodiscard]] double wasted_bytes() const noexcept { return wasted_bytes_; }
   [[nodiscard]] const LinkConfig& config() const noexcept { return config_; }
 
  private:
@@ -122,7 +151,9 @@ class Link {
     int threads = 1;
     double rate = 0.0;
     bool activated = false;  ///< setup latency elapsed; data is flowing
+    bool waiting_outage = false;  ///< aborted; reconnects when outage lifts
     int retries = 0;
+    int outage_aborts = 0;  ///< outage severances (drives reconnect backoff)
     /// When > 0: the transfer drops its connection once bytes_remaining
     /// falls below this threshold, and restarts from scratch.
     double fail_below_remaining = 0.0;
@@ -130,10 +161,12 @@ class Link {
     cbs::sim::SimTime requested = 0.0;
     cbs::sim::SimTime started = 0.0;
     cbs::sim::EventId completion_event{};
+    cbs::sim::EventId activation_event{};
     CompletionHandler on_complete;
   };
 
   void activate(TransferId id);
+  void schedule_activation(TransferId id, cbs::sim::SimDuration delay);
   void arm_failure(Active& transfer);
   void progress_all();
   void reallocate();
@@ -147,6 +180,9 @@ class Link {
   Ar1LogNoise noise_;
   cbs::sim::RngStream failure_rng_;
   std::uint64_t injected_failures_ = 0;
+  std::uint64_t outage_aborts_ = 0;
+  double wasted_bytes_ = 0.0;
+  bool outage_ = false;
   // std::map: deterministic iteration order (allocation must not depend on
   // hashing), and the id ordering equals submission ordering.
   std::map<TransferId, Active> active_;

@@ -1,0 +1,83 @@
+#include "simcore/fault_plan.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <string>
+
+namespace cbs::sim {
+
+FaultPlan::FaultPlan(Simulation& sim, FaultConfig config, RngStream rng)
+    : sim_(sim), config_(std::move(config)), rng_(rng) {
+  assert(config_.ic_vm_mtbf >= 0.0);
+  assert(config_.ec_vm_mtbf >= 0.0);
+  assert(config_.vm_recovery_seconds >= 0.0);
+  assert(config_.retraction_deadline_factor >= 0.0);
+}
+
+void FaultPlan::drive_vm_crashes(std::string_view cluster, std::size_t machines,
+                                 double mtbf,
+                                 std::function<void(std::size_t)> on_crash,
+                                 std::function<void(std::size_t)> on_recover) {
+  if (mtbf <= 0.0 || machines == 0) return;
+  const RngStream cluster_rng = rng_.substream(cluster);
+  for (std::size_t m = 0; m < machines; ++m) {
+    auto process = std::make_unique<CrashProcess>(CrashProcess{
+        cluster_rng.substream(m), mtbf, m, on_crash, on_recover, false, false});
+    arm(*process);
+    processes_.push_back(std::move(process));
+  }
+}
+
+void FaultPlan::arm(CrashProcess& process) {
+  if (process.armed) return;
+  process.armed = true;
+  // Exponential inter-crash time: -mtbf * ln(1 - U), U in [0, 1).
+  const double delay =
+      -process.mtbf * std::log1p(-process.rng.next_double());
+  CrashProcess* p = &process;  // stable: processes_ holds unique_ptrs
+  sim_.schedule_in(delay, [this, p] { fire(*p); });
+}
+
+void FaultPlan::fire(CrashProcess& process) {
+  process.armed = false;
+  // Pause while the system is idle so the event queue can drain; the
+  // controller re-arms via ensure_armed() when work arrives.
+  if (!is_active()) return;
+  ++crashes_injected_;
+  process.recovering = true;
+  if (process.on_crash) process.on_crash(process.machine);
+  CrashProcess* p = &process;
+  sim_.schedule_in(config_.vm_recovery_seconds, [this, p] {
+    p->recovering = false;
+    if (p->on_recover) p->on_recover(p->machine);
+    // Next failure is drawn from the recovery instant, so MTBF measures
+    // time *between* crashes of one machine, not uptime alone.
+    if (is_active()) arm(*p);
+  });
+}
+
+void FaultPlan::ensure_armed() {
+  for (auto& process : processes_) {
+    // A recovering machine re-arms from its own recovery event.
+    if (!process->armed && !process->recovering) arm(*process);
+  }
+}
+
+void FaultPlan::drive_outages(std::function<void(const OutageWindow&)> on_begin,
+                              std::function<void()> on_end) {
+  for (const OutageWindow& window : config_.outage_windows) {
+    if (window.duration <= 0.0) continue;
+    sim_.schedule_at(window.start, [this, window, on_begin] {
+      if (outage_depth_++ == 0) {
+        ++outages_started_;
+        if (on_begin) on_begin(window);
+      }
+    });
+    sim_.schedule_at(window.end(), [this, on_end] {
+      assert(outage_depth_ > 0);
+      if (--outage_depth_ == 0 && on_end) on_end();
+    });
+  }
+}
+
+}  // namespace cbs::sim

@@ -1,0 +1,142 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "simcore/rng.hpp"
+#include "simcore/simulation.hpp"
+#include "simcore/time.hpp"
+
+namespace cbs::sim {
+
+/// One absolute fault interval [start, start + duration).
+struct OutageWindow {
+  SimTime start = 0.0;
+  SimDuration duration = 0.0;
+
+  [[nodiscard]] SimTime end() const noexcept { return start + duration; }
+  [[nodiscard]] bool contains(SimTime t) const noexcept {
+    return t >= start && t < end();
+  }
+};
+
+/// Declarative fault-model knobs. Everything defaults to "off", and a
+/// default-constructed config is guaranteed zero-cost: no FaultPlan is
+/// built, no extra events are scheduled, and every run is byte-identical
+/// to a build without the fault layer.
+struct FaultConfig {
+  /// Per-VM mean time between crashes (exponential draws, seconds of sim
+  /// time); 0 disables crashes on that cluster. A crashed VM loses its
+  /// running task (the task is re-queued at its FCFS position and fully
+  /// re-executed) and rejoins after `vm_recovery_seconds`.
+  double ic_vm_mtbf = 0.0;
+  double ec_vm_mtbf = 0.0;
+  SimDuration vm_recovery_seconds = 120.0;
+
+  /// Whole-EC outage windows: both inter-cloud links become unreachable
+  /// (in-flight transfers are aborted, losing their progress) and the EC
+  /// job store rejects requests. Overlapping windows are merged by the
+  /// plan's depth counter.
+  std::vector<OutageWindow> outage_windows;
+
+  /// Bandwidth-probe blackout windows: the controller skips its periodic
+  /// 1 MB probes, so the EWMA bandwidth predictor goes stale.
+  std::vector<OutageWindow> probe_blackout;
+
+  /// Controller recovery policy: a bursted job must complete its upload
+  /// within `factor` times its estimated EC round trip, else the burst is
+  /// retracted (EC attempt cancelled, job re-admitted to the IC queue at
+  /// its FCFS position). 0 disables retraction.
+  double retraction_deadline_factor = 0.0;
+
+  /// True when any fault *injection* is configured (crashes, outages or
+  /// probe blackouts).
+  [[nodiscard]] bool any_faults() const noexcept {
+    return ic_vm_mtbf > 0.0 || ec_vm_mtbf > 0.0 || !outage_windows.empty() ||
+           !probe_blackout.empty();
+  }
+  /// True when the fault layer must be wired at all (faults or recovery
+  /// policy).
+  [[nodiscard]] bool enabled() const noexcept {
+    return any_faults() || retraction_deadline_factor > 0.0;
+  }
+  [[nodiscard]] bool in_probe_blackout(SimTime t) const noexcept {
+    for (const auto& w : probe_blackout) {
+      if (w.contains(t)) return true;
+    }
+    return false;
+  }
+};
+
+/// Deterministic, seed-driven fault-event generator.
+///
+/// The plan owns independent RNG substreams per (cluster, machine), so a
+/// machine's crash trace depends only on (seed, cluster name, machine
+/// index) — never on what the rest of the simulation does. Crash processes
+/// pause while the `active` gate (typically "jobs outstanding") is false,
+/// which lets a drained simulation terminate; call `ensure_armed()` when
+/// new work arrives to resume them.
+class FaultPlan {
+ public:
+  FaultPlan(Simulation& sim, FaultConfig config, RngStream rng);
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  [[nodiscard]] const FaultConfig& config() const noexcept { return config_; }
+
+  /// Starts one crash/recover process per machine of a cluster. `on_crash`
+  /// fires as a simulation event; `on_recover` follows
+  /// `config().vm_recovery_seconds` later. Machines provisioned after this
+  /// call (elastic scale-up) are not fault-driven.
+  void drive_vm_crashes(std::string_view cluster, std::size_t machines,
+                        double mtbf, std::function<void(std::size_t)> on_crash,
+                        std::function<void(std::size_t)> on_recover);
+
+  /// Schedules the config's outage windows. Overlaps are merged: `on_begin`
+  /// fires when the outage depth goes 0 -> 1, `on_end` when it returns to 0.
+  void drive_outages(std::function<void(const OutageWindow&)> on_begin,
+                     std::function<void()> on_end);
+
+  /// Gate for crash processes; when absent, processes never pause.
+  void set_active(std::function<bool()> active) { active_ = std::move(active); }
+
+  /// Resumes crash processes that paused while the gate was false.
+  void ensure_armed();
+
+  [[nodiscard]] std::uint64_t crashes_injected() const noexcept {
+    return crashes_injected_;
+  }
+  [[nodiscard]] std::uint64_t outages_started() const noexcept {
+    return outages_started_;
+  }
+
+ private:
+  struct CrashProcess {
+    RngStream rng;
+    double mtbf;
+    std::size_t machine;
+    std::function<void(std::size_t)> on_crash;
+    std::function<void(std::size_t)> on_recover;
+    bool armed;       ///< a crash event is pending
+    bool recovering;  ///< crashed; the recovery event is pending
+  };
+
+  void arm(CrashProcess& process);
+  void fire(CrashProcess& process);
+  [[nodiscard]] bool is_active() const { return !active_ || active_(); }
+
+  Simulation& sim_;
+  FaultConfig config_;
+  RngStream rng_;
+  std::function<bool()> active_;
+  // std::deque-like stability is required: arm() captures element pointers.
+  std::vector<std::unique_ptr<CrashProcess>> processes_;
+  int outage_depth_ = 0;
+  std::uint64_t crashes_injected_ = 0;
+  std::uint64_t outages_started_ = 0;
+};
+
+}  // namespace cbs::sim

@@ -238,6 +238,195 @@ TEST(JobStoreTest, EraseMissingIsNoOp) {
   EXPECT_DOUBLE_EQ(store.size_of("nothing"), 0.0);
 }
 
+// ---- Cluster crash/recover (fault injection) -----------------------------
+
+TEST(ClusterCrashTest, CrashRequeuesAndReexecutesRunningTask) {
+  Simulation sim;
+  Cluster cluster(sim, "c", 1);
+  std::vector<double> done;
+  cluster.submit(10.0, 0,
+                 [&](const TaskRecord& rec) { done.push_back(rec.completed); });
+  sim.schedule_at(4.0, [&] { cluster.crash_machine(0); });
+  sim.schedule_at(6.0, [&] { cluster.recover_machine(0); });
+  sim.run();
+  // 4 s of work destroyed; full re-execution starts at recovery: 6 + 10.
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_DOUBLE_EQ(done[0], 16.0);
+  EXPECT_EQ(cluster.crashes(), 1u);
+  EXPECT_EQ(cluster.reexecutions(), 1u);
+  EXPECT_DOUBLE_EQ(cluster.wasted_standard_seconds(), 4.0);
+  EXPECT_EQ(cluster.completed().size(), 1u);  // completes exactly once
+}
+
+TEST(ClusterCrashTest, ReclaimedTaskKeepsFcfsPosition) {
+  Simulation sim;
+  Cluster cluster(sim, "c", 1);
+  std::vector<TaskId> order;
+  const TaskId first = cluster.submit(
+      10.0, 0, [&](const TaskRecord& rec) { order.push_back(rec.task_id); });
+  const TaskId second = cluster.submit(
+      10.0, 0, [&](const TaskRecord& rec) { order.push_back(rec.task_id); });
+  sim.schedule_at(5.0, [&] { cluster.crash_machine(0); });
+  sim.schedule_at(7.0, [&] { cluster.recover_machine(0); });
+  sim.run();
+  // The crashed head task goes back to the *front* of the queue, so it
+  // still finishes before the task behind it.
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], first);
+  EXPECT_EQ(order[1], second);
+}
+
+TEST(ClusterCrashTest, DownMachineIsNotDispatchedUntilRecovery) {
+  Simulation sim;
+  Cluster cluster(sim, "c", 2);
+  sim.schedule_at(0.0, [&] { cluster.crash_machine(0); });
+  std::vector<std::size_t> machines;
+  sim.schedule_at(1.0, [&] {
+    cluster.submit(5.0, 0, [&](const TaskRecord& rec) {
+      machines.push_back(rec.machine);
+    });
+    cluster.submit(5.0, 0, [&](const TaskRecord& rec) {
+      machines.push_back(rec.machine);
+    });
+  });
+  sim.schedule_at(2.0, [&] { cluster.recover_machine(0); });
+  sim.run();
+  ASSERT_EQ(machines.size(), 2u);
+  EXPECT_EQ(cluster.down_machines(), 0u);
+  // First task had only machine 1 available; the second started on the
+  // recovered machine 0 at t = 2 rather than queueing behind machine 1.
+  EXPECT_EQ(machines[0], 1u);
+  EXPECT_EQ(machines[1], 0u);
+}
+
+TEST(ClusterCrashTest, CrashOnIdleMachineJustTakesItDown) {
+  Simulation sim;
+  Cluster cluster(sim, "c", 2);
+  EXPECT_TRUE(cluster.crash_machine(1));
+  EXPECT_EQ(cluster.down_machines(), 1u);
+  EXPECT_EQ(cluster.reexecutions(), 0u);
+  EXPECT_FALSE(cluster.crash_machine(1));  // already down
+  EXPECT_TRUE(cluster.recover_machine(1));
+  EXPECT_FALSE(cluster.recover_machine(1));  // already up
+  EXPECT_EQ(cluster.down_machines(), 0u);
+}
+
+// ---- JobStore retry/backoff (S3 best-effort semantics) -------------------
+
+TEST(JobStoreRetryTest, HealthyPutCompletesSynchronously) {
+  Simulation sim;
+  JobStore store(sim);
+  bool ok = false;
+  store.put_async("a", 100.0, [&](bool result) { ok = result; });
+  // No event needed: the handler already ran.
+  EXPECT_TRUE(ok);
+  EXPECT_DOUBLE_EQ(store.occupancy_bytes(), 100.0);
+  EXPECT_EQ(store.failed_attempts(), 0u);
+}
+
+TEST(JobStoreRetryTest, PutRetriesThroughOutage) {
+  Simulation sim;
+  JobStore::Config cfg;
+  cfg.retry_backoff = 2.0;
+  cfg.backoff_multiplier = 2.0;
+  JobStore store(sim, cfg);
+  store.set_available(false);
+  double ok_at = -1.0;
+  store.put_async("a", 50.0, [&](bool result) {
+    if (result) ok_at = sim.now();
+  });
+  // Attempts at 0, 2, 6 (backoff 2 then 4); the store comes back at 5, so
+  // the third attempt lands the object.
+  sim.schedule_at(5.0, [&] { store.set_available(true); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(ok_at, 6.0);
+  EXPECT_EQ(store.failed_attempts(), 2u);
+  EXPECT_EQ(store.abandoned_ops(), 0u);
+  EXPECT_DOUBLE_EQ(store.occupancy_bytes(), 50.0);
+}
+
+TEST(JobStoreRetryTest, ZeroCapacityPutIsAbandoned) {
+  Simulation sim;
+  JobStore::Config cfg;
+  cfg.capacity_bytes = 0.0;
+  cfg.max_attempts = 3;
+  JobStore store(sim, cfg);
+  bool called = false;
+  bool ok = true;
+  store.put_async("a", 1.0, [&](bool result) {
+    called = true;
+    ok = result;
+  });
+  sim.run();
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(store.failed_attempts(), 3u);
+  EXPECT_EQ(store.abandoned_ops(), 1u);
+  EXPECT_DOUBLE_EQ(store.occupancy_bytes(), 0.0);
+}
+
+TEST(JobStoreRetryTest, OverwriteWithinCapacitySucceeds) {
+  Simulation sim;
+  JobStore::Config cfg;
+  cfg.capacity_bytes = 100.0;
+  JobStore store(sim, cfg);
+  store.put("a", 80.0);
+  bool ok = false;
+  // 80 -> 90 needs only 10 fresh bytes; the overwrite frees the old object.
+  store.put_async("a", 90.0, [&](bool result) { ok = result; });
+  EXPECT_TRUE(ok);
+  EXPECT_DOUBLE_EQ(store.occupancy_bytes(), 90.0);
+}
+
+TEST(JobStoreRetryTest, BackoffIsCapped) {
+  Simulation sim;
+  JobStore::Config cfg;
+  cfg.retry_backoff = 2.0;
+  cfg.backoff_multiplier = 10.0;
+  cfg.max_backoff = 5.0;
+  cfg.max_attempts = 4;
+  JobStore store(sim, cfg);
+  store.set_available(false);
+  double failed_at = -1.0;
+  store.put_async("a", 1.0, [&](bool result) {
+    if (!result) failed_at = sim.now();
+  });
+  sim.run();
+  // Attempts at 0, 2, 7 (20 capped to 5), 12: gives up on the fourth.
+  EXPECT_DOUBLE_EQ(failed_at, 12.0);
+  EXPECT_EQ(store.abandoned_ops(), 1u);
+}
+
+TEST(JobStoreRetryTest, GetMissingKeyFailsFastWhenAvailable) {
+  Simulation sim;
+  JobStore store(sim);
+  bool called = false;
+  bool ok = true;
+  store.get_async("missing", [&](bool result, double) {
+    called = true;
+    ok = result;
+  });
+  // Absence on a healthy store is a definite answer: no retries scheduled.
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(store.failed_attempts(), 0u);
+}
+
+TEST(JobStoreRetryTest, GetRetriesThroughOutage) {
+  Simulation sim;
+  JobStore store(sim);
+  store.put("a", 30.0);
+  store.set_available(false);
+  double bytes_seen = 0.0;
+  store.get_async("a", [&](bool result, double bytes) {
+    if (result) bytes_seen = bytes;
+  });
+  sim.schedule_at(3.0, [&] { store.set_available(true); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(bytes_seen, 30.0);
+  EXPECT_GT(store.failed_attempts(), 0u);
+}
+
 TEST(JobStoreTest, HistoryRecordsTransitions) {
   Simulation sim;
   JobStore store(sim);

@@ -4,6 +4,8 @@
 // collapsing.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "harness/experiment.hpp"
 #include "harness/scenario.hpp"
 #include "net/link.hpp"
@@ -96,6 +98,116 @@ TEST(LinkFailureTest, FailuresMakeTransfersSlower) {
     return total / n;
   };
   EXPECT_GT(run_mean(0.8), 1.3 * run_mean(0.0));
+}
+
+TEST(LinkFailureTest, MultipleDropsPerTransferAreInjected) {
+  // Regression pin: the failure process re-arms after every drop (in
+  // activate(), not only at submit time), so one transfer can suffer up to
+  // max_retries drops — not just one.
+  Simulation sim;
+  auto cfg = flaky_link(0.9);
+  cfg.max_retries = 5;
+  net::Link link(sim, cfg, RngStream(6));
+  for (int i = 0; i < 60; ++i) link.submit(1.0e6, 1, nullptr);
+  sim.run();
+  int max_retries_seen = 0;
+  for (const auto& rec : link.completed()) {
+    max_retries_seen = std::max(max_retries_seen, rec.retries);
+  }
+  EXPECT_GE(max_retries_seen, 3);
+  EXPECT_GT(link.injected_failures(), 60u);  // more drops than transfers
+}
+
+TEST(LinkOutageTest, OutageAbortsAndResumesTransfers) {
+  Simulation sim;
+  net::Link link(sim, flaky_link(0.0), RngStream(7));
+  net::TransferRecord done{};
+  int completions = 0;
+  // 8 MB at 1 MB/s: without the outage this finishes at ~8.5 s.
+  link.submit(8.0e6, 8, [&](const net::TransferRecord& rec) {
+    done = rec;
+    ++completions;
+  });
+  sim.schedule_at(4.0, [&] { link.set_outage(true); });
+  sim.schedule_at(50.0, [&] { link.set_outage(false); });
+  sim.run();
+  ASSERT_EQ(completions, 1);
+  EXPECT_EQ(link.outage_aborts(), 1u);
+  // ~3.5 s of payload moved before the cut, all lost.
+  EXPECT_GT(link.wasted_bytes(), 2.0e6);
+  // Restarts from byte zero after the outage (+ setup + backoff), so the
+  // completion lands well past 58 s; the payload still arrives exactly once.
+  EXPECT_GT(done.completed, 58.0);
+  EXPECT_NEAR(link.total_bytes_delivered(), 8.0e6, 1.0);
+}
+
+TEST(LinkOutageTest, SubmitDuringOutageWaitsForRecovery) {
+  Simulation sim;
+  net::Link link(sim, flaky_link(0.0), RngStream(8));
+  link.set_outage(true);
+  double completed_at = -1.0;
+  link.submit(1.0e6, 1,
+              [&](const net::TransferRecord& rec) { completed_at = rec.completed; });
+  sim.schedule_at(30.0, [&] { link.set_outage(false); });
+  sim.run();
+  // Activation parked at setup-latency end, released at outage end: the
+  // transfer only moves after t = 30.
+  EXPECT_GT(completed_at, 30.0);
+  EXPECT_EQ(link.active_transfers(), 0u);
+}
+
+TEST(LinkOutageTest, RepeatedAbortsBackOffExponentially) {
+  Simulation sim;
+  auto cfg = flaky_link(0.0);
+  cfg.outage_backoff_base = 2.0;
+  cfg.outage_backoff_multiplier = 2.0;
+  net::Link link(sim, cfg, RngStream(9));
+  net::TransferRecord done{};
+  link.submit(60.0e6, 8, [&](const net::TransferRecord& rec) { done = rec; });
+  // Two outages, each severing the same transfer: reconnect delays are
+  // setup + 2 s, then setup + 4 s.
+  sim.schedule_at(5.0, [&] { link.set_outage(true); });
+  sim.schedule_at(6.0, [&] { link.set_outage(false); });
+  sim.schedule_at(20.0, [&] { link.set_outage(true); });
+  sim.schedule_at(21.0, [&] { link.set_outage(false); });
+  sim.run();
+  EXPECT_EQ(link.outage_aborts(), 2u);
+  // 60 s of payload restarted at t ≈ 21 + 0.5 + 4: finishes after ~85 s.
+  EXPECT_GT(done.completed, 85.0);
+  EXPECT_NEAR(link.total_bytes_delivered(), 60.0e6, 1.0);
+}
+
+TEST(LinkCancelTest, CancelAbortsInFlightTransfer) {
+  Simulation sim;
+  net::Link link(sim, flaky_link(0.0), RngStream(10));
+  int completions = 0;
+  const auto id =
+      link.submit(10.0e6, 8, [&](const net::TransferRecord&) { ++completions; });
+  bool cancelled = false;
+  sim.schedule_at(3.0, [&] { cancelled = link.cancel(id); });
+  sim.run();
+  EXPECT_TRUE(cancelled);
+  EXPECT_EQ(completions, 0);
+  EXPECT_EQ(link.active_transfers(), 0u);
+  EXPECT_GT(link.wasted_bytes(), 1.0e6);  // ~2.5 s of progress discarded
+  EXPECT_EQ(link.total_bytes_delivered(), 0.0);
+  EXPECT_FALSE(link.cancel(id));  // unknown id now
+}
+
+TEST(LinkCancelTest, CancelFreesCapacityForSurvivors) {
+  Simulation sim;
+  net::Link link(sim, flaky_link(0.0), RngStream(11));
+  net::TransferRecord survivor{};
+  const auto victim = link.submit(50.0e6, 8, nullptr);
+  link.submit(4.0e6, 8,
+              [&](const net::TransferRecord& rec) { survivor = rec; });
+  sim.schedule_at(1.0, [&] { link.cancel(victim); });
+  sim.run();
+  // With the victim gone the survivor gets the whole 1 MB/s pipe: ~0.5 s
+  // sharing + full rate after, far sooner than the ~8.5 s a fair split of
+  // the whole run would give.
+  EXPECT_GT(survivor.completed, 0.0);
+  EXPECT_LT(survivor.completed, 6.0);
 }
 
 TEST(ScenarioFailureTest, FullRunSurvivesFlakyPipe) {

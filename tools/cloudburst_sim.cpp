@@ -10,6 +10,7 @@
 //        --lambda J/batch   --interval s  --high-var     --rescheduler
 //        --elastic          --estimator (qrsm|oracle|per-class)
 //        --tolerance t_l    --oo-interval s   --noise sigma
+//        --ic-mtbf s  --ec-mtbf s  --vm-recovery s  --retraction-factor f
 //        --csv (report|completion|oo)
 #include <cstdio>
 #include <exception>
@@ -30,6 +31,8 @@ void print_usage() {
       "                      [--high-var] [--rescheduler] [--elastic]\n"
       "                      [--estimator qrsm|oracle|per-class]\n"
       "                      [--tolerance t] [--oo-interval s] [--noise sig]\n"
+      "                      [--ic-mtbf s] [--ec-mtbf s] [--vm-recovery s]\n"
+      "                      [--retraction-factor f]\n"
       "                      [--csv report|completion|oo]\n"
       "schedulers: ic-only greedy order-preserving op-bandwidth-split\n"
       "buckets:    small uniform large\n");
@@ -85,6 +88,17 @@ int main(int argc, char** argv) {
     if (result.pull_backs + result.push_outs > 0) {
       std::printf("resched:  %zu pull-backs, %zu push-outs\n",
                   result.pull_backs, result.push_outs);
+    }
+    if (scenario.faults.enabled()) {
+      std::printf("faults:   %llu crashes (%llu re-executions, %.0fs wasted), "
+                  "%llu retractions, %llu outages, %.1f MB transfer lost\n",
+                  static_cast<unsigned long long>(result.faults.ic_crashes +
+                                                  result.faults.ec_crashes),
+                  static_cast<unsigned long long>(result.faults.reexecutions),
+                  result.faults.wasted_compute_seconds,
+                  static_cast<unsigned long long>(result.faults.retractions),
+                  static_cast<unsigned long long>(result.faults.outages),
+                  result.faults.wasted_transfer_bytes / 1.0e6);
     }
     return 0;
   } catch (const std::exception& e) {
