@@ -2,7 +2,11 @@
 // fit/predict, OO metric computation, full scenario throughput.
 #include <benchmark/benchmark.h>
 
+#include "core/belief_state.hpp"
+#include "core/order_preserving_scheduler.hpp"
+#include "core/scheduler.hpp"
 #include "harness/experiment.hpp"
+#include "models/estimator.hpp"
 #include "harness/runner.hpp"
 #include "harness/scenario.hpp"
 #include "models/qrsm.hpp"
@@ -29,6 +33,113 @@ void BM_EventEngineThroughput(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_EventEngineThroughput)->Arg(1000)->Arg(10000);
+
+void BM_EventCancelChurn(benchmark::State& state) {
+  // The burst-retraction pattern: most scheduled events are cancelled
+  // before firing. Exercises tombstoning + compaction in the event engine.
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    cbs::sim::Simulation sim;
+    std::vector<cbs::sim::EventId> doomed;
+    doomed.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const double t = static_cast<double>(i % 97) + 1.0;
+      if (i % 8 == 0) {
+        sim.schedule_at(t, [] {});
+      } else {
+        doomed.push_back(sim.schedule_at(t, [] {}));
+      }
+      if (doomed.size() >= 32) {
+        for (const auto id : doomed) sim.cancel(id);
+        doomed.clear();
+      }
+    }
+    for (const auto id : doomed) sim.cancel(id);
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventCancelChurn)->Arg(1000)->Arg(10000);
+
+void BM_SlackMaintenance(benchmark::State& state) {
+  // Eq. 1's cushion under commit/complete churn with `n` jobs outstanding.
+  // The pre-optimization slack() rescanned all outstanding jobs on every
+  // call; the incremental structure makes this flat in n.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  cbs::sim::RngStream rng(11);
+  cbs::workload::GroundTruthModel truth({}, rng.substream("t"));
+  cbs::workload::WorkloadGenerator gen({}, truth, rng.substream("g"));
+  cbs::models::OracleEstimator estimator(truth);
+  cbs::net::BandwidthEstimator uplink(
+      {.slots_per_day = 1, .alpha = 0.3, .prior_rate = 1.0e6});
+  cbs::net::BandwidthEstimator downlink = uplink;
+  cbs::core::BeliefState belief(estimator, uplink, downlink, 50, 1.0, 50, 1.0);
+  std::vector<cbs::workload::Document> docs;
+  for (std::size_t i = 0; i < n; ++i) docs.push_back(gen.next());
+  std::uint64_t seq = 1;
+  double now = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    belief.commit_ec(seq++, docs[i], belief.ft_ec(docs[i], now));
+  }
+  std::size_t oldest = 1;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    // Steady-state churn: complete the oldest, commit a replacement, read
+    // the slack — the per-batch pattern of Algorithm 1/2.
+    now += 1.0;
+    belief.on_ec_complete(oldest++);
+    const auto& doc = docs[i++ % docs.size()];
+    belief.commit_ec(seq++, doc, belief.ft_ec(doc, now));
+    benchmark::DoNotOptimize(belief.slack(now));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SlackMaintenance)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_BatchAdmission(benchmark::State& state) {
+  // Algorithm 2 over a whole batch: every job consults slack() before
+  // admission, so batch cost was quadratic in outstanding jobs before the
+  // incremental structure.
+  const auto batch_size = static_cast<std::size_t>(state.range(0));
+  cbs::sim::RngStream rng(13);
+  cbs::workload::GroundTruthModel truth({}, rng.substream("t"));
+  cbs::workload::WorkloadGenerator gen({}, truth, rng.substream("g"));
+  cbs::models::OracleEstimator estimator(truth);
+  cbs::net::BandwidthEstimator uplink(
+      {.slots_per_day = 1, .alpha = 0.3, .prior_rate = 1.0e6});
+  cbs::net::BandwidthEstimator downlink = uplink;
+  std::vector<cbs::workload::Document> batch;
+  for (std::size_t i = 0; i < batch_size; ++i) batch.push_back(gen.next());
+  cbs::core::SchedulerParams params;
+  for (auto _ : state) {
+    state.PauseTiming();
+    // Fresh belief per iteration so committed state does not accumulate
+    // across iterations; seeded with a backlog so jobs are burst-eligible.
+    cbs::core::BeliefState belief(estimator, uplink, downlink, 4, 1.0, 50,
+                                  1.0);
+    belief.commit_ic(999999, 40000.0);
+    std::uint64_t next_seq = 1;
+    std::uint64_t next_doc_id = 1ULL << 40;
+    cbs::core::OrderPreservingScheduler scheduler;
+    cbs::core::Scheduler::Context ctx{
+        .now = 0.0,
+        .belief = belief,
+        .params = params,
+        .truth = truth,
+        .next_seq = &next_seq,
+        .next_doc_id = &next_doc_id,
+        .ic_machines = 4,
+        .upload_class_backlog_bytes = {0.0, 0.0, 0.0},
+        .download_backlog_bytes = 0.0,
+    };
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(scheduler.schedule_batch(batch, ctx));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch_size));
+}
+BENCHMARK(BM_BatchAdmission)->Arg(64)->Arg(256)->Arg(1024);
 
 void BM_QrsmFit(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -163,6 +274,26 @@ void BM_FullScenario(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullScenario)->Unit(benchmark::kMillisecond);
+
+void BM_FaultedScenario(benchmark::State& state) {
+  // Full run with the fault layer hot: VM crashes on both clusters, EC
+  // outage windows, and burst-retraction deadlines (the cancel-heavy path
+  // the tombstoning engine exists for).
+  for (auto _ : state) {
+    auto scenario = cbs::harness::make_scenario(
+        cbs::core::SchedulerKind::kOrderPreserving,
+        cbs::workload::SizeBucket::kLargeBiased, 1337);
+    scenario.num_batches = 2;
+    scenario.faults.ec_vm_mtbf = 1200.0;
+    scenario.faults.ic_vm_mtbf = 6000.0;
+    scenario.faults.retraction_deadline_factor = 3.0;
+    scenario.faults.outage_windows = {cbs::sim::OutageWindow{400.0, 240.0},
+                                      cbs::sim::OutageWindow{1500.0, 180.0}};
+    scenario.log_threshold = cbs::sim::LogLevel::kOff;  // keep stderr clean
+    benchmark::DoNotOptimize(cbs::harness::run_scenario(scenario));
+  }
+}
+BENCHMARK(BM_FaultedScenario)->Unit(benchmark::kMillisecond);
 
 void BM_ParallelPlan(benchmark::State& state) {
   // Scaling of the parallel experiment runner: a 6-cell plan (3 seeds x

@@ -29,6 +29,16 @@ struct SizeIntervalBounds {
     cbs::sim::SimTime now, std::size_t ic_machines,
     const std::vector<double>& queue_backlog_bytes);
 
+/// Allocation-free overload: `scratch_sizes` is cleared and reused as the
+/// eligible-size list L, so per-batch calls stop allocating once the buffer
+/// has warmed up. The bounds are selected with nth_element (they are order
+/// statistics of L) — values are identical to the sorting implementation.
+[[nodiscard]] std::optional<SizeIntervalBounds> compute_size_interval_bounds(
+    const std::vector<cbs::workload::Document>& batch, const BeliefState& belief,
+    cbs::sim::SimTime now, std::size_t ic_machines,
+    const std::vector<double>& queue_backlog_bytes,
+    std::vector<double>& scratch_sizes);
+
 /// §IV.C — the Order Preserving scheduler with Size-interval Bandwidth
 /// Splitting: uploads are partitioned into small/medium/large queues whose
 /// bounds are recomputed per batch (Algorithm 3), isolating small jobs from
@@ -51,6 +61,7 @@ class BandwidthSplitScheduler final : public OrderPreservingScheduler {
 
  private:
   SizeIntervalBounds bounds_{40.0, 120.0};  // sane defaults before batch 1
+  std::vector<double> size_scratch_;        // reused eligible-size list L
 };
 
 }  // namespace cbs::core

@@ -119,6 +119,28 @@ SimTime BeliefState::slack(SimTime now) const {
   if (!ic_jobs_.empty()) {
     cushion = std::max(cushion, ic_drain_time(now));
   }
+  // Pop stale heap tops (completed/retracted jobs, or a seq re-committed
+  // with a different estimate) until a live maximum surfaces. Each stale
+  // record is popped exactly once, so the amortized cost per slack() call
+  // is O(1) heap maintenance.
+  while (!ec_finish_heap_.empty()) {
+    const auto& [finish, seq] = ec_finish_heap_.front();
+    const auto it = ec_jobs_.find(seq);
+    if (it != ec_jobs_.end() && it->second.est_finish == finish) {
+      cushion = std::max(cushion, finish);
+      break;
+    }
+    std::pop_heap(ec_finish_heap_.begin(), ec_finish_heap_.end());
+    ec_finish_heap_.pop_back();
+  }
+  return cushion;
+}
+
+SimTime BeliefState::slack_bruteforce(SimTime now) const {
+  SimTime cushion = now;
+  if (!ic_jobs_.empty()) {
+    cushion = std::max(cushion, ic_drain_time(now));
+  }
   for (const auto& [seq, job] : ec_jobs_) {
     cushion = std::max(cushion, job.est_finish);
   }
@@ -140,6 +162,18 @@ void BeliefState::commit_ec(std::uint64_t seq, const cbs::workload::Document& do
       ec_jobs_.emplace(seq, EcJob{estimate.finish, proc_standard}).second;
   assert(inserted && "seq committed to EC twice");
   (void)inserted;
+  // Stale records (from completions/retractions) accumulate until they
+  // surface in slack(); rebuild from the live table when they dominate so
+  // churn-heavy runs stay bounded.
+  if (ec_finish_heap_.size() > 2 * ec_jobs_.size() + 64) {
+    ec_finish_heap_.clear();
+    for (const auto& [live_seq, job] : ec_jobs_) {
+      ec_finish_heap_.emplace_back(job.est_finish, live_seq);
+    }
+    std::make_heap(ec_finish_heap_.begin(), ec_finish_heap_.end());
+  }
+  ec_finish_heap_.emplace_back(estimate.finish, seq);
+  std::push_heap(ec_finish_heap_.begin(), ec_finish_heap_.end());
   ec_outstanding_seconds_ += proc_standard;
   upload_backlog_bytes_ += doc.input_bytes();
 }

@@ -1,9 +1,11 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <utility>
+#include <vector>
 
 #include "models/estimator.hpp"
+#include "util/flat_map.hpp"
 #include "net/bandwidth_estimator.hpp"
 #include "simcore/time.hpp"
 #include "workload/document.hpp"
@@ -82,7 +84,18 @@ class BeliefState {
   /// Eq. 1: the cushion for the next job to be scheduled — the latest
   /// estimated completion among all outstanding (committed, not completed)
   /// jobs, which all precede it in the queue. `now` when nothing is ahead.
+  ///
+  /// O(1) amortized: the maximum believed EC finish is maintained
+  /// incrementally (lazy-deletion max-heap updated on commit/complete/
+  /// retract) instead of rescanned — the rescan made every Poisson batch
+  /// O(n²) in outstanding jobs. `slack_bruteforce` is the O(n) reference.
   [[nodiscard]] cbs::sim::SimTime slack(cbs::sim::SimTime now) const;
+
+  /// Reference implementation of `slack` that rescans every believed EC
+  /// job. Exists so property tests can pin the incremental structure
+  /// against it under arbitrary commit/complete/retract sequences; not for
+  /// production call sites.
+  [[nodiscard]] cbs::sim::SimTime slack_bruteforce(cbs::sim::SimTime now) const;
 
   /// Estimated drain time of the internal cloud (absolute).
   [[nodiscard]] cbs::sim::SimTime ic_drain_time(cbs::sim::SimTime now) const;
@@ -158,7 +171,7 @@ class BeliefState {
   double ec_job_overhead_;  ///< fixed wall-clock overhead per EC job
 
   // Outstanding IC jobs: seq -> estimated standard seconds.
-  std::map<std::uint64_t, double> ic_jobs_;
+  cbs::util::FlatMap<std::uint64_t, double> ic_jobs_;
   double ic_outstanding_seconds_ = 0.0;
   // Outstanding EC jobs: seq -> (estimated absolute completion, estimated
   // EC processing seconds still ahead of the store).
@@ -166,7 +179,13 @@ class BeliefState {
     cbs::sim::SimTime est_finish = 0.0;
     double processing_seconds = 0.0;
   };
-  std::map<std::uint64_t, EcJob> ec_jobs_;
+  cbs::util::FlatMap<std::uint64_t, EcJob> ec_jobs_;
+  /// Lazy-deletion max-heap over (est_finish, seq) of the believed EC jobs.
+  /// Completions/retractions leave stale records; slack() pops them when
+  /// they surface (an entry is live iff ec_jobs_[seq].est_finish matches),
+  /// and commit_ec compacts when stale records dominate. `mutable` because
+  /// popping stale tops is a read-side maintenance step.
+  mutable std::vector<std::pair<cbs::sim::SimTime, std::uint64_t>> ec_finish_heap_;
   double ec_outstanding_seconds_ = 0.0;
   double upload_backlog_bytes_ = 0.0;
   BandwidthView view_ = BandwidthView::kLearned;

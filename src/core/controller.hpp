@@ -1,6 +1,5 @@
 #pragma once
 
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -13,6 +12,7 @@
 #include "core/job.hpp"
 #include "core/scheduler.hpp"
 #include "core/upload_queues.hpp"
+#include "util/flat_map.hpp"
 #include "models/estimator.hpp"
 #include "net/bandwidth_estimator.hpp"
 #include "net/link.hpp"
@@ -164,7 +164,7 @@ class CloudBurstController {
   TransferQueueSet upload_queues_;
   TransferQueueSet download_queue_;
 
-  std::map<std::uint64_t, Job> jobs_;
+  cbs::util::FlatMap<std::uint64_t, Job> jobs_;
   std::deque<std::uint64_t> ic_wait_;  ///< IC feed queue (enables rescheduling)
   std::vector<cbs::sla::JobOutcome> outcomes_;
   std::uint64_t next_seq_ = 1;
@@ -182,7 +182,7 @@ class CloudBurstController {
   // ---- fault layer (absent and cost-free unless configured) ----
   std::unique_ptr<cbs::sim::FaultPlan> fault_plan_;
   /// Pending burst-retraction deadlines: seq -> the deadline event.
-  std::map<std::uint64_t, cbs::sim::EventId> burst_deadlines_;
+  cbs::util::FlatMap<std::uint64_t, cbs::sim::EventId> burst_deadlines_;
   std::size_t retractions_ = 0;
   std::size_t probe_blackout_skips_ = 0;
 };

@@ -135,8 +135,18 @@ SimTime MultiCloudController::slack(SimTime now) const {
                            (static_cast<double>(config_.ic.ic_machines) *
                             config_.ic.ic_speed));
   }
-  for (const auto& [seq, finish] : believed_ec_finishes_) {
-    cushion = std::max(cushion, finish);
+  // Lazy-deletion max-heap mirror of believed_ec_finishes_; pop stale tops
+  // (downloaded jobs) until a live maximum surfaces. Same scheme as
+  // BeliefState::slack().
+  while (!ec_finish_heap_.empty()) {
+    const auto& [finish, seq] = ec_finish_heap_.front();
+    const auto it = believed_ec_finishes_.find(seq);
+    if (it != believed_ec_finishes_.end() && it->second == finish) {
+      cushion = std::max(cushion, finish);
+      break;
+    }
+    std::pop_heap(ec_finish_heap_.begin(), ec_finish_heap_.end());
+    ec_finish_heap_.pop_back();
   }
   return cushion;
 }
@@ -186,6 +196,15 @@ void MultiCloudController::place_site(Job&& job, const SiteEstimate& estimate) {
   site.believed_ec_outstanding_seconds += job.estimated_service_seconds;
   ++site.bursts;
   believed_ec_finishes_.emplace(seq, estimate.finish);
+  if (ec_finish_heap_.size() > 2 * believed_ec_finishes_.size() + 64) {
+    ec_finish_heap_.clear();
+    for (const auto& [live_seq, finish] : believed_ec_finishes_) {
+      ec_finish_heap_.emplace_back(finish, live_seq);
+    }
+    std::make_heap(ec_finish_heap_.begin(), ec_finish_heap_.end());
+  }
+  ec_finish_heap_.emplace_back(estimate.finish, seq);
+  std::push_heap(ec_finish_heap_.begin(), ec_finish_heap_.end());
   job_site_.emplace(seq, estimate.site);
   const double bytes = job.doc.input_bytes();
   jobs_.emplace(seq, std::move(job));

@@ -2,7 +2,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -13,6 +12,7 @@
 #include "core/config.hpp"
 #include "core/job.hpp"
 #include "core/upload_queues.hpp"
+#include "util/flat_map.hpp"
 #include "models/estimator.hpp"
 #include "net/bandwidth_estimator.hpp"
 #include "net/link.hpp"
@@ -178,13 +178,17 @@ class MultiCloudController {
   std::vector<std::unique_ptr<Site>> sites_;
 
   // IC belief (estimated standard seconds outstanding).
-  std::map<std::uint64_t, double> believed_ic_jobs_;
+  cbs::util::FlatMap<std::uint64_t, double> believed_ic_jobs_;
   double believed_ic_seconds_ = 0.0;
   // Believed absolute finish of every outstanding bursted job.
-  std::map<std::uint64_t, cbs::sim::SimTime> believed_ec_finishes_;
+  cbs::util::FlatMap<std::uint64_t, cbs::sim::SimTime> believed_ec_finishes_;
+  /// Lazy-deletion max-heap over (finish, seq) mirroring
+  /// believed_ec_finishes_ — same scheme as BeliefState::slack().
+  mutable std::vector<std::pair<cbs::sim::SimTime, std::uint64_t>>
+      ec_finish_heap_;
 
-  std::map<std::uint64_t, Job> jobs_;
-  std::map<std::uint64_t, std::size_t> job_site_;  ///< seq -> site index
+  cbs::util::FlatMap<std::uint64_t, Job> jobs_;
+  cbs::util::FlatMap<std::uint64_t, std::size_t> job_site_;  ///< seq -> site index
   std::deque<std::uint64_t> ic_wait_;
   std::vector<cbs::sla::JobOutcome> outcomes_;
   std::uint64_t next_seq_ = 1;

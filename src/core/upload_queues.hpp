@@ -3,10 +3,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <vector>
 
 #include "net/link.hpp"
+#include "util/flat_map.hpp"
 #include "net/thread_tuner.hpp"
 #include "simcore/simulation.hpp"
 
@@ -94,8 +94,9 @@ class TransferQueueSet {
   cbs::net::ThreadTuner& tuner_;
   std::vector<std::deque<Item>> queues_;
   std::vector<std::vector<Slot>> slots_;  // per class
-  // std::map: deterministic iteration, and cancellation needs tag lookup.
-  std::map<std::uint64_t, ActiveItem> active_;
+  // Deterministic ascending-tag iteration, and cancellation needs tag
+  // lookup; tags are monotonic so inserts are O(1) amortized appends.
+  cbs::util::FlatMap<std::uint64_t, ActiveItem> active_;
   std::size_t active_count_ = 0;
   std::vector<double> active_bytes_per_class_;
   CompletionHandler on_complete_;

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace cbs::sim {
+
+/// Move-only, type-erased `void()` callable with small-buffer optimisation.
+///
+/// This is the event engine's callback type. `std::function` was measurably
+/// wrong for the job: it must be copyable (so captured state is constrained
+/// or heap-shared), its small-buffer is implementation-defined, and every
+/// heap-spilled callback costs an allocation on the hottest path in the
+/// simulator. `UniqueCallback` guarantees:
+///
+///  - callables up to `kInlineSize` bytes (and nothrow-movable) live inline
+///    in the event slab — zero allocations to schedule them;
+///  - larger callables take exactly one allocation, owned uniquely;
+///  - moves are `noexcept` pointer/buffer relocations, so slab vectors can
+///    grow with cheap relocation and no exception paths.
+///
+/// Invoking an empty callback is undefined (assert-guarded at the call
+/// sites); test with `explicit operator bool`.
+class UniqueCallback {
+ public:
+  /// Sized to hold the common controller captures (`this` + a seq id + a
+  /// couple of values) with headroom; tune only with benchmark evidence
+  /// (bench/micro_perf.cpp: BM_EventEngineThroughput).
+  static constexpr std::size_t kInlineSize = 48;
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+  UniqueCallback() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, UniqueCallback> &&
+                std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
+  UniqueCallback(F&& f) {  // NOLINT(google-explicit-constructor): drop-in
+                           // replacement for std::function at schedule sites
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      vt_ = &kInlineVTable<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      vt_ = &kHeapVTable<Fn>;
+    }
+  }
+
+  UniqueCallback(UniqueCallback&& other) noexcept : vt_(other.vt_) {
+    if (vt_ != nullptr) {
+      vt_->relocate(storage_, other.storage_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  UniqueCallback& operator=(UniqueCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      vt_ = other.vt_;
+      if (vt_ != nullptr) {
+        vt_->relocate(storage_, other.storage_);
+        other.vt_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  UniqueCallback(const UniqueCallback&) = delete;
+  UniqueCallback& operator=(const UniqueCallback&) = delete;
+
+  ~UniqueCallback() { reset(); }
+
+  /// Destroys the held callable (no-op when empty).
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(storage_);
+      vt_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+  void operator()() { vt_->invoke(storage_); }
+
+ private:
+  struct VTable {
+    void (*invoke)(void* obj);
+    /// Move-constructs into `dst` and destroys the source representation.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* obj) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineSize && alignof(Fn) <= kInlineAlign &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static Fn* inline_object(void* obj) noexcept {
+    return std::launder(reinterpret_cast<Fn*>(obj));
+  }
+  template <typename Fn>
+  static Fn** heap_slot(void* obj) noexcept {
+    return std::launder(reinterpret_cast<Fn**>(obj));
+  }
+
+  template <typename Fn>
+  static constexpr VTable kInlineVTable{
+      [](void* obj) { (*inline_object<Fn>(obj))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn(std::move(*inline_object<Fn>(src)));
+        inline_object<Fn>(src)->~Fn();
+      },
+      [](void* obj) noexcept { inline_object<Fn>(obj)->~Fn(); }};
+
+  template <typename Fn>
+  static constexpr VTable kHeapVTable{
+      [](void* obj) { (**heap_slot<Fn>(obj))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn*(*heap_slot<Fn>(src));
+      },
+      [](void* obj) noexcept { delete *heap_slot<Fn>(obj); }};
+
+  alignas(kInlineAlign) unsigned char storage_[kInlineSize];
+  const VTable* vt_ = nullptr;
+};
+
+}  // namespace cbs::sim

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace cbs::util {
+
+/// Sorted-vector map for the simulator's job tables.
+///
+/// The controllers key every table by a monotonically increasing sequence
+/// id, look entries up by exact key on completion events, and iterate in
+/// key order for determinism. `std::map` pays a node allocation plus
+/// pointer-chasing on every one of those operations. This container keeps
+/// the pairs in one contiguous sorted vector:
+///
+///  - inserting an ever-increasing key is an amortized O(1) append (the
+///    common case — sequence ids); out-of-order re-admissions (burst
+///    retractions) fall back to an O(n) shift, which is rare and tiny;
+///  - lookups are cache-friendly binary searches;
+///  - iteration is in ascending key order, like `std::map`, so replacing
+///    one with the other cannot change any deterministic output.
+///
+/// The deliberate difference from `std::map`: iterators AND references are
+/// invalidated by every insert/erase. Callers must re-find after mutating —
+/// the simulator's call sites were audited for this when the tables were
+/// migrated (no reference is held across an insertion).
+template <typename Key, typename Value>
+class FlatMap {
+ public:
+  using value_type = std::pair<Key, Value>;
+  using storage_type = std::vector<value_type>;
+  using iterator = typename storage_type::iterator;
+  using const_iterator = typename storage_type::const_iterator;
+
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  void clear() noexcept { data_.clear(); }
+  void reserve(std::size_t n) { data_.reserve(n); }
+
+  [[nodiscard]] iterator begin() noexcept { return data_.begin(); }
+  [[nodiscard]] iterator end() noexcept { return data_.end(); }
+  [[nodiscard]] const_iterator begin() const noexcept { return data_.begin(); }
+  [[nodiscard]] const_iterator end() const noexcept { return data_.end(); }
+
+  [[nodiscard]] iterator find(const Key& key) {
+    auto it = lower_bound(key);
+    return (it != data_.end() && it->first == key) ? it : data_.end();
+  }
+  [[nodiscard]] const_iterator find(const Key& key) const {
+    auto it = lower_bound(key);
+    return (it != data_.end() && it->first == key) ? it : data_.end();
+  }
+  [[nodiscard]] bool contains(const Key& key) const {
+    return find(key) != data_.end();
+  }
+
+  /// Inserts `(key, Value(args...))` if absent; like std::map::emplace but
+  /// the mapped value is only constructed on actual insertion.
+  template <typename... Args>
+  std::pair<iterator, bool> emplace(const Key& key, Args&&... args) {
+    auto it = lower_bound(key);
+    if (it != data_.end() && it->first == key) return {it, false};
+    it = data_.emplace(it, std::piecewise_construct, std::forward_as_tuple(key),
+                       std::forward_as_tuple(std::forward<Args>(args)...));
+    return {it, true};
+  }
+
+  Value& operator[](const Key& key) {
+    auto it = lower_bound(key);
+    if (it == data_.end() || it->first != key) {
+      it = data_.emplace(it, std::piecewise_construct,
+                         std::forward_as_tuple(key), std::forward_as_tuple());
+    }
+    return it->second;
+  }
+
+  Value& at(const Key& key) {
+    auto it = find(key);
+    assert(it != data_.end() && "FlatMap::at: missing key");
+    return it->second;
+  }
+  const Value& at(const Key& key) const {
+    auto it = find(key);
+    assert(it != data_.end() && "FlatMap::at: missing key");
+    return it->second;
+  }
+
+  iterator erase(iterator pos) { return data_.erase(pos); }
+  std::size_t erase(const Key& key) {
+    auto it = find(key);
+    if (it == data_.end()) return 0;
+    data_.erase(it);
+    return 1;
+  }
+
+ private:
+  [[nodiscard]] iterator lower_bound(const Key& key) {
+    return std::lower_bound(
+        data_.begin(), data_.end(), key,
+        [](const value_type& entry, const Key& k) { return entry.first < k; });
+  }
+  [[nodiscard]] const_iterator lower_bound(const Key& key) const {
+    return std::lower_bound(
+        data_.begin(), data_.end(), key,
+        [](const value_type& entry, const Key& k) { return entry.first < k; });
+  }
+
+  storage_type data_;
+};
+
+}  // namespace cbs::util

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <memory>
 
 #include "core/bandwidth_split.hpp"
@@ -377,6 +379,116 @@ TEST(BandwidthSplitTest, SchedulerAssignsUploadClasses) {
   }
   EXPECT_TRUE(saw_small);
   EXPECT_TRUE(saw_large);
+}
+
+/// Sort-based reference for the bound selection — the implementation the
+/// nth_element version replaced. Pins that selection produces identical
+/// bounds (they are order statistics, so any divergence is a bug).
+SizeIntervalBounds reference_bounds(std::vector<double> sorted_sizes,
+                                    const double leftover[3]) {
+  std::sort(sorted_sizes.begin(), sorted_sizes.end());
+  const double leftover_sum = leftover[0] + leftover[1] + leftover[2];
+  const auto count = static_cast<double>(sorted_sizes.size());
+  const auto small_count =
+      static_cast<std::size_t>(std::floor(count * leftover[0] / leftover_sum));
+  const auto medium_count =
+      static_cast<std::size_t>(std::floor(count * leftover[1] / leftover_sum));
+  SizeIntervalBounds bounds;
+  bounds.small_upper_mb = small_count > 0 ? sorted_sizes[small_count - 1]
+                                          : sorted_sizes.front();
+  const std::size_t medium_last = std::min(
+      sorted_sizes.size() - 1,
+      small_count + std::max<std::size_t>(medium_count, 1) - 1);
+  bounds.medium_upper_mb =
+      std::max(sorted_sizes[medium_last], bounds.small_upper_mb);
+  return bounds;
+}
+
+TEST(BandwidthSplitTest, SelectionBoundsMatchSortReference) {
+  SchedulerFixture f;
+  f.fx.belief.commit_ic(999, 1.0e9);  // everything is burst-eligible
+  RngStream rng(20260806);
+  std::vector<double> scratch;
+  for (int trial = 0; trial < 200; ++trial) {
+    const int batch_size = 1 + static_cast<int>(rng.next() % 40);
+    std::vector<Document> batch;
+    std::vector<double> sizes;
+    for (int i = 0; i < batch_size; ++i) {
+      // Duplicates on purpose: coarse quantization exercises tie handling.
+      const double size = 5.0 * (1.0 + static_cast<double>(rng.next() % 60));
+      batch.push_back(make_doc(static_cast<std::uint64_t>(i + 1), size));
+      sizes.push_back(size);
+    }
+    std::vector<double> backlog = {rng.uniform(0.0, 1.0e9),
+                                   rng.uniform(0.0, 1.0e9),
+                                   rng.uniform(0.0, 1.0e9)};
+    if (trial % 5 == 0) backlog = {0.0, 0.0, 0.0};
+    const auto bounds = compute_size_interval_bounds(batch, f.fx.belief, 0.0,
+                                                     4, backlog, scratch);
+    ASSERT_TRUE(bounds.has_value());
+
+    double leftover[3];
+    const double total = backlog[0] + backlog[1] + backlog[2];
+    if (total <= 0.0) {
+      leftover[0] = leftover[1] = leftover[2] = 1.0;
+    } else {
+      for (int q = 0; q < 3; ++q) leftover[q] = 1.0 - backlog[static_cast<std::size_t>(q)] / total;
+    }
+    const SizeIntervalBounds expected = reference_bounds(sizes, leftover);
+    EXPECT_EQ(bounds->small_upper_mb, expected.small_upper_mb) << "trial " << trial;
+    EXPECT_EQ(bounds->medium_upper_mb, expected.medium_upper_mb) << "trial " << trial;
+  }
+}
+
+// ---- Incremental slack property test --------------------------------------
+
+TEST(BeliefStateTest, IncrementalSlackMatchesBruteforceUnderChurn) {
+  BeliefFixture fx;
+  RngStream rng(777);
+  std::vector<std::uint64_t> live_ic;
+  std::vector<std::uint64_t> live_ec;
+  std::uint64_t next_seq = 1;
+  double now = 0.0;
+  for (int step = 0; step < 4000; ++step) {
+    now += rng.uniform(0.0, 5.0);
+    const std::uint64_t op = rng.next() % 10;
+    if (op < 3) {  // commit IC
+      const std::uint64_t seq = next_seq++;
+      fx.belief.commit_ic(seq, rng.uniform(1.0, 500.0));
+      live_ic.push_back(seq);
+    } else if (op < 6) {  // commit EC
+      const std::uint64_t seq = next_seq++;
+      const Document doc = make_doc(seq, rng.uniform(1.0, 400.0));
+      fx.belief.commit_ec(seq, doc, fx.belief.ft_ec(doc, now));
+      live_ec.push_back(seq);
+    } else if (op < 7 && !live_ic.empty()) {  // complete IC
+      const std::size_t i = rng.next() % live_ic.size();
+      fx.belief.on_ic_complete(live_ic[i]);
+      live_ic.erase(live_ic.begin() + static_cast<std::ptrdiff_t>(i));
+    } else if (op < 8 && !live_ec.empty()) {  // complete EC
+      const std::size_t i = rng.next() % live_ec.size();
+      fx.belief.on_ec_complete(live_ec[i]);
+      live_ec.erase(live_ec.begin() + static_cast<std::ptrdiff_t>(i));
+    } else if (op < 9 && !live_ic.empty()) {  // fault retraction, IC side
+      const std::size_t i = rng.next() % live_ic.size();
+      fx.belief.retract_ic(live_ic[i]);
+      live_ic.erase(live_ic.begin() + static_cast<std::ptrdiff_t>(i));
+    } else if (!live_ec.empty()) {  // fault retraction, EC side
+      const std::size_t i = rng.next() % live_ec.size();
+      fx.belief.retract_ec(live_ec[i], rng.uniform(0.0, 1.0e8));
+      live_ec.erase(live_ec.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    // Exact equality, not near-equality: both paths take max over the same
+    // doubles, which is order-insensitive, so any difference is a tracking
+    // bug in the incremental structure.
+    ASSERT_EQ(fx.belief.slack(now), fx.belief.slack_bruteforce(now))
+        << "diverged at step " << step;
+  }
+  // Drain everything: the incremental structure must agree on empty too.
+  for (const auto seq : live_ic) fx.belief.on_ic_complete(seq);
+  for (const auto seq : live_ec) fx.belief.on_ec_complete(seq);
+  EXPECT_EQ(fx.belief.slack(now), fx.belief.slack_bruteforce(now));
+  EXPECT_EQ(fx.belief.slack(now), now);
 }
 
 // ---- TransferQueueSet ---------------------------------------------------

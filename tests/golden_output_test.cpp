@@ -1,0 +1,91 @@
+// Golden-output pins: fixed-seed runs must stay byte-identical across
+// refactors of the hot paths (event engine, slack accounting, containers).
+// The determinism contract is the repo's hard constraint — any optimisation
+// that changes a single byte of these outputs is a behaviour change, not an
+// optimisation.
+//
+// Regenerate the golden files (after an *intentional* behaviour change)
+// with: CBS_UPDATE_GOLDEN=1 ./build/tests/golden_output_test
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/csv.hpp"
+#include "harness/experiment.hpp"
+#include "harness/scenario.hpp"
+
+namespace {
+
+using namespace cbs;
+
+std::string golden_path(const std::string& file) {
+  return std::string(CBS_GOLDEN_DIR) + "/" + file;
+}
+
+/// The pinned runs: both single-EC schedulers on the uniform workload, and
+/// a heavily faulted run (crashes + outages + retraction recovery) so the
+/// cancel-heavy event paths are pinned too.
+std::vector<harness::RunResult> golden_runs() {
+  std::vector<harness::RunResult> out;
+  for (const auto kind :
+       {core::SchedulerKind::kGreedy, core::SchedulerKind::kOrderPreserving}) {
+    auto s = harness::make_scenario(kind, workload::SizeBucket::kUniform, 42);
+    s.num_batches = 4;
+    out.push_back(harness::run_scenario(s));
+  }
+  auto faulted = harness::make_scenario(core::SchedulerKind::kOrderPreserving,
+                                        workload::SizeBucket::kLargeBiased, 1337);
+  faulted.name += "-faulted";
+  faulted.num_batches = 4;
+  faulted.faults.ec_vm_mtbf = 1200.0;
+  faulted.faults.ic_vm_mtbf = 6000.0;
+  faulted.faults.retraction_deadline_factor = 3.0;
+  faulted.faults.outage_windows = {cbs::sim::OutageWindow{400.0, 240.0},
+                                   cbs::sim::OutageWindow{1500.0, 180.0}};
+  out.push_back(harness::run_scenario(faulted));
+  return out;
+}
+
+/// Serializes everything the benches print: the headline report rows plus
+/// the per-job completion series of every run (which pins each individual
+/// job's completion time and placement, byte for byte).
+std::string render(const std::vector<harness::RunResult>& runs) {
+  std::ostringstream out;
+  harness::csv::write_reports(out, runs);
+  for (const auto& r : runs) {
+    out << "# completion series: " << r.scenario.name << "\n";
+    harness::csv::write_completion_series(out, r);
+  }
+  return out.str();
+}
+
+TEST(GoldenOutput, FixedSeedRunsAreByteIdentical) {
+  const std::string got = render(golden_runs());
+  const std::string path = golden_path("reports_fixed_seeds.csv");
+  if (std::getenv("CBS_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream update(path, std::ios::binary);
+    ASSERT_TRUE(update) << "cannot write " << path;
+    update << got;
+    GTEST_SKIP() << "golden file updated: " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " — run with CBS_UPDATE_GOLDEN=1 to create it";
+  std::stringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(got, want.str())
+      << "fixed-seed output drifted from the committed golden file; if the "
+         "change is intentional, regenerate with CBS_UPDATE_GOLDEN=1";
+}
+
+/// The same runs executed twice in-process must agree exactly — catches
+/// accidental global mutable state in the hot paths.
+TEST(GoldenOutput, RepeatRunsAreBitExact) {
+  EXPECT_EQ(render(golden_runs()), render(golden_runs()));
+}
+
+}  // namespace

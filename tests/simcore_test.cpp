@@ -168,6 +168,59 @@ TEST(EventQueueTest, SizeTracksLiveEvents) {
   EXPECT_EQ(q.total_scheduled(), 2u);
 }
 
+// Regression tests for the slab/generation engine: a stale EventId (fired
+// or cancelled) must never act on a later event that reuses its slot.
+
+TEST(EventQueueTest, CancelledIdCannotResurrectAfterSlotReuse) {
+  EventQueue q;
+  const EventId stale = q.push(1.0, [] {});
+  ASSERT_TRUE(q.cancel(stale));
+  // Force slot reuse: drain the queue so the cancelled record is released,
+  // then schedule a fresh event (which grabs the freed slot).
+  q.push(2.0, [] {});
+  (void)q.pop();
+  bool fired = false;
+  q.push(3.0, [&] { fired = true; });
+  EXPECT_FALSE(q.cancel(stale));  // stale generation: must not match
+  ASSERT_EQ(q.size(), 1u);
+  auto [time, cb] = q.pop();
+  EXPECT_EQ(time, 3.0);
+  cb();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueueTest, FiredIdCannotCancelSlotSuccessor) {
+  EventQueue q;
+  const EventId fired_id = q.push(1.0, [] {});
+  (void)q.pop();  // fires; the slot returns to the free list
+  q.push(2.0, [] {});  // reuses the slot
+  EXPECT_FALSE(q.cancel(fired_id));
+  EXPECT_EQ(q.size(), 1u);  // the successor is untouched
+}
+
+TEST(EventQueueTest, CancelHeavyChurnStaysBoundedAndOrdered) {
+  // Interleave schedule/cancel so tombstones build up and compaction runs;
+  // the survivors must still pop in exact (time, seq) order.
+  EventQueue q;
+  std::vector<EventId> doomed;
+  std::vector<double> expected_times;
+  for (int i = 0; i < 2000; ++i) {
+    const double t = static_cast<double>(i);
+    if (i % 4 == 0) {
+      expected_times.push_back(t);
+      q.push(t, [] {});
+    } else {
+      doomed.push_back(q.push(t, [] {}));
+    }
+  }
+  for (const EventId id : doomed) ASSERT_TRUE(q.cancel(id));
+  // Compaction must have kept tombstones from dominating the heap.
+  EXPECT_LE(q.tombstones(), q.size() + 64);
+  std::vector<double> popped;
+  while (!q.empty()) popped.push_back(q.pop().time);
+  EXPECT_EQ(popped, expected_times);
+}
+
 TEST(SimulationTest, RunUntilAdvancesClockToDeadlineWhenIdle) {
   Simulation sim;
   sim.schedule_at(1.0, [] {});
