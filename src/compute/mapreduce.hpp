@@ -2,11 +2,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "compute/cluster.hpp"
 #include "simcore/simulation.hpp"
+#include "util/flat_map.hpp"
 
 namespace cbs::compute {
 
@@ -65,7 +65,9 @@ class MapReduceRuntime {
 
   cbs::sim::Simulation& sim_;
   Cluster& cluster_;
-  std::unordered_map<std::uint64_t, InFlight> in_flight_;
+  // Sorted-vector map: job ids are monotonic, so inserts append; keeps the
+  // compute layer free of hash-ordered containers like simcore/core.
+  cbs::util::FlatMap<std::uint64_t, InFlight> in_flight_;
   std::vector<MapReduceRecord> completed_;
 };
 

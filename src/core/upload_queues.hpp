@@ -2,12 +2,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <vector>
 
 #include "net/link.hpp"
 #include "util/flat_map.hpp"
 #include "net/thread_tuner.hpp"
+#include "simcore/callback.hpp"
 #include "simcore/simulation.hpp"
 
 namespace cbs::core {
@@ -24,10 +24,10 @@ namespace cbs::core {
 class TransferQueueSet {
  public:
   /// Fired when a job's transfer completes; `klass` is the queue class the
-  /// item was *enqueued* to (not the slot that carried it).
-  using CompletionHandler =
-      std::function<void(std::uint64_t tag, int klass,
-                         const cbs::net::TransferRecord&)>;
+  /// item was *enqueued* to (not the slot that carried it). Move-only: the
+  /// handler is a set-once hook owned by this queue set, never copied.
+  using CompletionHandler = cbs::sim::UniqueFunction<void(
+      std::uint64_t tag, int klass, const cbs::net::TransferRecord&)>;
 
   TransferQueueSet(cbs::sim::Simulation& sim, cbs::net::Link& link,
                    cbs::net::ThreadTuner& tuner, int num_classes,

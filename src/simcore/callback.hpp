@@ -7,13 +7,16 @@
 
 namespace cbs::sim {
 
-/// Move-only, type-erased `void()` callable with small-buffer optimisation.
+/// Move-only, type-erased callable with small-buffer optimisation.
 ///
-/// This is the event engine's callback type. `std::function` was measurably
-/// wrong for the job: it must be copyable (so captured state is constrained
-/// or heap-shared), its small-buffer is implementation-defined, and every
-/// heap-spilled callback costs an allocation on the hottest path in the
-/// simulator. `UniqueCallback` guarantees:
+/// `UniqueFunction<void()>` (aliased as `UniqueCallback`) is the event
+/// engine's callback type; the other instantiations carry the simulator's
+/// set-once hooks (fault callbacks, transfer-completion handlers).
+/// `std::function` was measurably wrong for the job: it must be copyable
+/// (so captured state is constrained or heap-shared), its small-buffer is
+/// implementation-defined, and every heap-spilled callback costs an
+/// allocation on the hottest path in the simulator. `UniqueFunction`
+/// guarantees:
 ///
 ///  - callables up to `kInlineSize` bytes (and nothrow-movable) live inline
 ///    in the event slab — zero allocations to schedule them;
@@ -23,7 +26,11 @@ namespace cbs::sim {
 ///
 /// Invoking an empty callback is undefined (assert-guarded at the call
 /// sites); test with `explicit operator bool`.
-class UniqueCallback {
+template <typename Signature>
+class UniqueFunction;
+
+template <typename R, typename... Args>
+class UniqueFunction<R(Args...)> {
  public:
   /// Sized to hold the common controller captures (`this` + a seq id + a
   /// couple of values) with headroom; tune only with benchmark evidence
@@ -31,13 +38,14 @@ class UniqueCallback {
   static constexpr std::size_t kInlineSize = 48;
   static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
 
-  UniqueCallback() noexcept = default;
+  UniqueFunction() noexcept = default;
+  UniqueFunction(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
 
   template <typename F,
             typename = std::enable_if_t<
-                !std::is_same_v<std::remove_cvref_t<F>, UniqueCallback> &&
-                std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
-  UniqueCallback(F&& f) {  // NOLINT(google-explicit-constructor): drop-in
+                !std::is_same_v<std::remove_cvref_t<F>, UniqueFunction> &&
+                std::is_invocable_r_v<R, std::remove_cvref_t<F>&, Args...>>>
+  UniqueFunction(F&& f) {  // NOLINT(google-explicit-constructor): drop-in
                            // replacement for std::function at schedule sites
     using Fn = std::remove_cvref_t<F>;
     if constexpr (fits_inline<Fn>()) {
@@ -49,14 +57,14 @@ class UniqueCallback {
     }
   }
 
-  UniqueCallback(UniqueCallback&& other) noexcept : vt_(other.vt_) {
+  UniqueFunction(UniqueFunction&& other) noexcept : vt_(other.vt_) {
     if (vt_ != nullptr) {
       vt_->relocate(storage_, other.storage_);
       other.vt_ = nullptr;
     }
   }
 
-  UniqueCallback& operator=(UniqueCallback&& other) noexcept {
+  UniqueFunction& operator=(UniqueFunction&& other) noexcept {
     if (this != &other) {
       reset();
       vt_ = other.vt_;
@@ -68,10 +76,10 @@ class UniqueCallback {
     return *this;
   }
 
-  UniqueCallback(const UniqueCallback&) = delete;
-  UniqueCallback& operator=(const UniqueCallback&) = delete;
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
 
-  ~UniqueCallback() { reset(); }
+  ~UniqueFunction() { reset(); }
 
   /// Destroys the held callable (no-op when empty).
   void reset() noexcept {
@@ -83,11 +91,13 @@ class UniqueCallback {
 
   [[nodiscard]] explicit operator bool() const noexcept { return vt_ != nullptr; }
 
-  void operator()() { vt_->invoke(storage_); }
+  R operator()(Args... args) {
+    return vt_->invoke(storage_, std::forward<Args>(args)...);
+  }
 
  private:
   struct VTable {
-    void (*invoke)(void* obj);
+    R (*invoke)(void* obj, Args&&... args);
     /// Move-constructs into `dst` and destroys the source representation.
     void (*relocate)(void* dst, void* src) noexcept;
     void (*destroy)(void* obj) noexcept;
@@ -110,7 +120,9 @@ class UniqueCallback {
 
   template <typename Fn>
   static constexpr VTable kInlineVTable{
-      [](void* obj) { (*inline_object<Fn>(obj))(); },
+      [](void* obj, Args&&... args) -> R {
+        return (*inline_object<Fn>(obj))(std::forward<Args>(args)...);
+      },
       [](void* dst, void* src) noexcept {
         ::new (dst) Fn(std::move(*inline_object<Fn>(src)));
         inline_object<Fn>(src)->~Fn();
@@ -119,7 +131,9 @@ class UniqueCallback {
 
   template <typename Fn>
   static constexpr VTable kHeapVTable{
-      [](void* obj) { (**heap_slot<Fn>(obj))(); },
+      [](void* obj, Args&&... args) -> R {
+        return (**heap_slot<Fn>(obj))(std::forward<Args>(args)...);
+      },
       [](void* dst, void* src) noexcept {
         ::new (dst) Fn*(*heap_slot<Fn>(src));
       },
@@ -128,5 +142,8 @@ class UniqueCallback {
   alignas(kInlineAlign) unsigned char storage_[kInlineSize];
   const VTable* vt_ = nullptr;
 };
+
+/// The event engine's `void()` callback (see `EventQueue::Callback`).
+using UniqueCallback = UniqueFunction<void()>;
 
 }  // namespace cbs::sim

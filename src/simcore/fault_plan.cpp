@@ -15,17 +15,20 @@ FaultPlan::FaultPlan(Simulation& sim, FaultConfig config, RngStream rng)
 }
 
 void FaultPlan::drive_vm_crashes(std::string_view cluster, std::size_t machines,
-                                 double mtbf,
-                                 std::function<void(std::size_t)> on_crash,
-                                 std::function<void(std::size_t)> on_recover) {
+                                 double mtbf, MachineHook on_crash,
+                                 MachineHook on_recover) {
   if (mtbf <= 0.0 || machines == 0) return;
+  auto hooks = std::make_unique<ClusterHooks>();
+  hooks->on_crash = std::move(on_crash);
+  hooks->on_recover = std::move(on_recover);
   const RngStream cluster_rng = rng_.substream(cluster);
   for (std::size_t m = 0; m < machines; ++m) {
     auto process = std::make_unique<CrashProcess>(CrashProcess{
-        cluster_rng.substream(m), mtbf, m, on_crash, on_recover, false, false});
+        cluster_rng.substream(m), mtbf, m, hooks.get(), false, false});
     arm(*process);
     processes_.push_back(std::move(process));
   }
+  hooks_.push_back(std::move(hooks));
 }
 
 void FaultPlan::arm(CrashProcess& process) {
@@ -45,11 +48,11 @@ void FaultPlan::fire(CrashProcess& process) {
   if (!is_active()) return;
   ++crashes_injected_;
   process.recovering = true;
-  if (process.on_crash) process.on_crash(process.machine);
+  if (process.hooks->on_crash) process.hooks->on_crash(process.machine);
   CrashProcess* p = &process;
   sim_.schedule_in(config_.vm_recovery_seconds, [this, p] {
     p->recovering = false;
-    if (p->on_recover) p->on_recover(p->machine);
+    if (p->hooks->on_recover) p->hooks->on_recover(p->machine);
     // Next failure is drawn from the recovery instant, so MTBF measures
     // time *between* crashes of one machine, not uptime alone.
     if (is_active()) arm(*p);
@@ -63,19 +66,22 @@ void FaultPlan::ensure_armed() {
   }
 }
 
-void FaultPlan::drive_outages(std::function<void(const OutageWindow&)> on_begin,
-                              std::function<void()> on_end) {
+void FaultPlan::drive_outages(OutageBeginHook on_begin, OutageEndHook on_end) {
+  assert(!outages_driven_ && "drive_outages() may be called at most once");
+  outages_driven_ = true;
+  outage_begin_ = std::move(on_begin);
+  outage_end_ = std::move(on_end);
   for (const OutageWindow& window : config_.outage_windows) {
     if (window.duration <= 0.0) continue;
-    sim_.schedule_at(window.start, [this, window, on_begin] {
+    sim_.schedule_at(window.start, [this, window] {
       if (outage_depth_++ == 0) {
         ++outages_started_;
-        if (on_begin) on_begin(window);
+        if (outage_begin_) outage_begin_(window);
       }
     });
-    sim_.schedule_at(window.end(), [this, on_end] {
+    sim_.schedule_at(window.end(), [this] {
       assert(outage_depth_ > 0);
-      if (--outage_depth_ == 0 && on_end) on_end();
+      if (--outage_depth_ == 0 && outage_end_) outage_end_();
     });
   }
 }

@@ -1,11 +1,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string_view>
 #include <vector>
 
+#include "simcore/callback.hpp"
 #include "simcore/rng.hpp"
 #include "simcore/simulation.hpp"
 #include "simcore/time.hpp"
@@ -79,8 +79,18 @@ struct FaultConfig {
 /// pause while the `active` gate (typically "jobs outstanding") is false,
 /// which lets a drained simulation terminate; call `ensure_armed()` when
 /// new work arrives to resume them.
+///
+/// Hooks are `UniqueFunction`s (move-only): one crash/recover pair is
+/// stored per `drive_vm_crashes` call and shared by every machine of that
+/// cluster, rather than copied into each per-machine process the way a
+/// `std::function` design would.
 class FaultPlan {
  public:
+  using MachineHook = UniqueFunction<void(std::size_t)>;
+  using OutageBeginHook = UniqueFunction<void(const OutageWindow&)>;
+  using OutageEndHook = UniqueFunction<void()>;
+  using ActiveGate = UniqueFunction<bool()>;
+
   FaultPlan(Simulation& sim, FaultConfig config, RngStream rng);
   FaultPlan(const FaultPlan&) = delete;
   FaultPlan& operator=(const FaultPlan&) = delete;
@@ -92,16 +102,16 @@ class FaultPlan {
   /// `config().vm_recovery_seconds` later. Machines provisioned after this
   /// call (elastic scale-up) are not fault-driven.
   void drive_vm_crashes(std::string_view cluster, std::size_t machines,
-                        double mtbf, std::function<void(std::size_t)> on_crash,
-                        std::function<void(std::size_t)> on_recover);
+                        double mtbf, MachineHook on_crash,
+                        MachineHook on_recover);
 
   /// Schedules the config's outage windows. Overlaps are merged: `on_begin`
   /// fires when the outage depth goes 0 -> 1, `on_end` when it returns to 0.
-  void drive_outages(std::function<void(const OutageWindow&)> on_begin,
-                     std::function<void()> on_end);
+  /// May be called at most once per plan.
+  void drive_outages(OutageBeginHook on_begin, OutageEndHook on_end);
 
   /// Gate for crash processes; when absent, processes never pause.
-  void set_active(std::function<bool()> active) { active_ = std::move(active); }
+  void set_active(ActiveGate active) { active_ = std::move(active); }
 
   /// Resumes crash processes that paused while the gate was false.
   void ensure_armed();
@@ -114,26 +124,36 @@ class FaultPlan {
   }
 
  private:
+  /// One crash/recover hook pair per drive_vm_crashes() call, shared by
+  /// every machine of that cluster (stable address: held by unique_ptr).
+  struct ClusterHooks {
+    MachineHook on_crash;
+    MachineHook on_recover;
+  };
+
   struct CrashProcess {
     RngStream rng;
     double mtbf;
     std::size_t machine;
-    std::function<void(std::size_t)> on_crash;
-    std::function<void(std::size_t)> on_recover;
+    ClusterHooks* hooks;
     bool armed;       ///< a crash event is pending
     bool recovering;  ///< crashed; the recovery event is pending
   };
 
   void arm(CrashProcess& process);
   void fire(CrashProcess& process);
-  [[nodiscard]] bool is_active() const { return !active_ || active_(); }
+  [[nodiscard]] bool is_active() { return !active_ || active_(); }
 
   Simulation& sim_;
   FaultConfig config_;
   RngStream rng_;
-  std::function<bool()> active_;
+  ActiveGate active_;
+  std::vector<std::unique_ptr<ClusterHooks>> hooks_;
   // std::deque-like stability is required: arm() captures element pointers.
   std::vector<std::unique_ptr<CrashProcess>> processes_;
+  OutageBeginHook outage_begin_;
+  OutageEndHook outage_end_;
+  bool outages_driven_ = false;
   int outage_depth_ = 0;
   std::uint64_t crashes_injected_ = 0;
   std::uint64_t outages_started_ = 0;

@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "simcore/event_queue.hpp"
 #include "simcore/time.hpp"

@@ -47,8 +47,14 @@ std::string Histogram::render(std::size_t width) const {
                                : *std::max_element(counts_.begin(), counts_.end());
   std::ostringstream oss;
   for (std::size_t b = 0; b < counts_.size(); ++b) {
+    // Scale in double: `counts_[b] * width` overflows std::size_t for
+    // counts past 2^64/width, and the ratio is exact for any realistic
+    // count (< 2^53), so the bar length is unchanged where both work.
     const std::size_t bar =
-        peak == 0 ? 0 : counts_[b] * width / peak;
+        peak == 0 ? 0
+                  : static_cast<std::size_t>(static_cast<double>(counts_[b]) *
+                                             static_cast<double>(width) /
+                                             static_cast<double>(peak));
     oss << "[" << bucket_lo(b) << ", " << bucket_hi(b) << ") "
         << std::string(bar, '#') << " " << counts_[b] << "\n";
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstddef>
+#include <tuple>
 #include <utility>
 #include <vector>
 

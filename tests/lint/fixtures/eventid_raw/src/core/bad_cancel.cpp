@@ -1,0 +1,12 @@
+// Negative fixture: EventId forged from a raw value at a cancellation
+// site. cbs_lint must report [eventid-raw] — a fabricated handle bypasses
+// the generation check that makes cancel() safe against slot reuse.
+#include "simcore/simulation.hpp"
+
+namespace cbs::core {
+
+void bad_cancel(cbs::sim::Simulation& sim) {
+  sim.cancel(cbs::sim::EventId{42});
+}
+
+}  // namespace cbs::core

@@ -1,0 +1,9 @@
+// Negative fixture: float in time/size arithmetic. cbs_lint must report
+// [float-arithmetic]; times and sizes are double end-to-end.
+namespace cbs::sla {
+
+float bad_turnaround(float completed, float arrival) {
+  return completed - arrival;
+}
+
+}  // namespace cbs::sla

@@ -1,0 +1,14 @@
+// Negative fixture: hash-ordered container in sim state. cbs_lint must
+// report [nondeterministic-container] for both the include and the member.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace cbs::sim {
+
+struct BadTable {
+  std::unordered_map<std::uint64_t, double> jobs;
+};
+
+}  // namespace cbs::sim

@@ -1,0 +1,8 @@
+// Negative fixture: a waiver that suppresses nothing. cbs_lint must report
+// [stale-waiver] so dead waivers cannot silently re-authorize future code.
+namespace cbs::core {
+
+// cbs-lint: wall-clock-ok(fixture: the offending call was deleted long ago)
+double stale() { return 0.0; }
+
+}  // namespace cbs::core

@@ -1,0 +1,13 @@
+// Negative fixture: std::function in an engine layer. cbs_lint must
+// report [std-function]; the fix is cbs::sim::UniqueFunction.
+#pragma once
+
+#include <functional>
+
+namespace cbs::sim {
+
+struct BadHook {
+  std::function<void(int)> on_fire;
+};
+
+}  // namespace cbs::sim

@@ -1,0 +1,16 @@
+// Positive fixture: the same violation as nondeterministic_container, but
+// carrying well-formed waivers — cbs_lint must exit 0 on this tree.
+#pragma once
+
+#include <cstdint>
+// cbs-lint: nondeterministic-ok(fixture: include waived to prove the waiver path)
+#include <unordered_map>
+
+namespace cbs::sim {
+
+struct WaivedTable {
+  // cbs-lint: nondeterministic-ok(fixture: lookup-only table, never iterated)
+  std::unordered_map<std::uint64_t, double> jobs;
+};
+
+}  // namespace cbs::sim

@@ -1,0 +1,16 @@
+// Negative fixture: ambient randomness and wall-clock reads inside the
+// model. cbs_lint must report [wall-clock] for each of the three reads.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+namespace cbs::core {
+
+double bad_jitter() {
+  std::random_device entropy;
+  const double r = static_cast<double>(rand()) / RAND_MAX;
+  const auto wall = std::chrono::system_clock::now().time_since_epoch();
+  return r + static_cast<double>(wall.count()) + static_cast<double>(entropy());
+}
+
+}  // namespace cbs::core

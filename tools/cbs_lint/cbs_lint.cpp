@@ -1,0 +1,537 @@
+// cbs_lint — determinism-and-safety invariant checker for the cloudburst
+// tree.
+//
+// The simulator's SLA numbers are only reproducible because every run is
+// bit-deterministic at a fixed seed, and the hot-path engine (PR 3) made
+// that determinism rest on conventions a compiler cannot see: iteration
+// only over deterministic-order containers in sim state, no ambient
+// randomness or wall-clock reads inside the model, move-only
+// `UniqueFunction` callbacks instead of `std::function` in the engine
+// layers, `double` (never `float`) for time/size arithmetic, and opaque
+// generation-checked `EventId` handles. clang-tidy covers the generic
+// bug classes; this tool turns the project-specific rules into machine
+// checks so they survive refactors without hand auditing.
+//
+// Design constraints: no libclang (the container only ships a GCC
+// toolchain), so the checker is a comment/string-aware token scanner over
+// the source tree. That is deliberately dumb — rules are written so that
+// a token match IS a violation, and anything subtler is left to
+// clang-tidy or review.
+//
+// Usage:
+//   cbs_lint [--root <dir>] [--list-waivers | --fix-waivers] [--quiet]
+//
+// Waiver syntax, on the offending line or the line directly above:
+//   // cbs-lint: <token>-ok(reason)
+// e.g.  // cbs-lint: nondeterministic-ok(lookup-only table, never iterated)
+// The reason is mandatory; a waiver that suppresses nothing is itself an
+// error (rule `stale-waiver`), so waivers cannot outlive their code.
+//
+// Exit codes: 0 clean, 1 violations found, 2 usage/filesystem error.
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Source model: one file, split into lines, each with a "code view" in
+// which comments and string/character literals are blanked out so token
+// searches cannot match inside them. Waivers are parsed from the comment
+// text that the code view discards.
+// ---------------------------------------------------------------------
+
+struct Waiver {
+  std::size_t line = 0;     ///< 1-based line the waiver comment sits on
+  std::string token;        ///< e.g. "nondeterministic" for ...-ok(...)
+  std::string reason;
+  bool used = false;        ///< consumed by at least one suppression
+};
+
+struct SourceFile {
+  fs::path path;                    ///< as reported (relative to root)
+  std::vector<std::string> raw;     ///< original lines
+  std::vector<std::string> code;    ///< comment/string-blanked lines
+  std::vector<Waiver> waivers;
+};
+
+bool is_ident_char(char c);
+
+/// Blanks comments and string/char literals, preserving line structure.
+/// `in_block_comment` carries /* ... */ state across lines.
+std::string strip_line(const std::string& line, bool& in_block_comment) {
+  std::string out;
+  out.reserve(line.size());
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (in_block_comment) {
+      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        in_block_comment = false;
+        out += "  ";
+        i += 2;
+      } else {
+        out += ' ';
+        ++i;
+      }
+      continue;
+    }
+    const char c = line[i];
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+      // Line comment: blank the rest of the line.
+      out.append(line.size() - i, ' ');
+      break;
+    }
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      in_block_comment = true;
+      out += "  ";
+      i += 2;
+      continue;
+    }
+    if (c == '"' || (c == '\'' && (i == 0 || !is_ident_char(line[i - 1])))) {
+      // The is_ident_char guard keeps C++14 digit separators (1'000'000)
+      // from opening a phantom char literal.
+      const char quote = c;
+      out += ' ';
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == '\\' && i + 1 < line.size()) {
+          out += "  ";
+          i += 2;
+          continue;
+        }
+        const bool closing = line[i] == quote;
+        out += ' ';
+        ++i;
+        if (closing) break;
+      }
+      continue;
+    }
+    out += c;
+    ++i;
+  }
+  return out;
+}
+
+/// Parses `cbs-lint: <token>-ok(reason)` out of a raw line (typically a
+/// comment). Returns nullopt when the line carries no waiver.
+std::optional<Waiver> parse_waiver(const std::string& raw, std::size_t lineno,
+                                   std::string* error) {
+  static constexpr std::string_view kMarker = "cbs-lint:";
+  const std::size_t at = raw.find(kMarker);
+  if (at == std::string::npos) return std::nullopt;
+  std::size_t i = at + kMarker.size();
+  while (i < raw.size() && std::isspace(static_cast<unsigned char>(raw[i]))) ++i;
+  const std::size_t tok_begin = i;
+  while (i < raw.size() &&
+         (std::isalnum(static_cast<unsigned char>(raw[i])) || raw[i] == '-')) {
+    ++i;
+  }
+  std::string token = raw.substr(tok_begin, i - tok_begin);
+  static constexpr std::string_view kSuffix = "-ok";
+  if (token.size() <= kSuffix.size() ||
+      token.compare(token.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+          0) {
+    *error = "malformed cbs-lint marker (expected '<token>-ok(reason)')";
+    return std::nullopt;
+  }
+  token.resize(token.size() - kSuffix.size());
+  if (i >= raw.size() || raw[i] != '(') {
+    *error = "waiver '" + token + "-ok' is missing its (reason)";
+    return std::nullopt;
+  }
+  const std::size_t close = raw.find(')', i);
+  if (close == std::string::npos) {
+    *error = "waiver '" + token + "-ok' has an unterminated (reason";
+    return std::nullopt;
+  }
+  std::string reason = raw.substr(i + 1, close - i - 1);
+  const auto not_space = [](unsigned char c) { return !std::isspace(c); };
+  if (std::find_if(reason.begin(), reason.end(), not_space) == reason.end()) {
+    *error = "waiver '" + token + "-ok' has an empty reason";
+    return std::nullopt;
+  }
+  Waiver w;
+  w.line = lineno;
+  w.token = std::move(token);
+  w.reason = std::move(reason);
+  return w;
+}
+
+// ---------------------------------------------------------------------
+// Token matching helpers (code view only).
+// ---------------------------------------------------------------------
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when `token` occurs in `code` as a whole identifier (neighbours are
+/// not identifier characters). `allow_scope_prefix` keeps `std::rand`
+/// matching on "rand" while still rejecting `my_rand`.
+bool has_token(const std::string& code, std::string_view token) {
+  std::size_t at = 0;
+  while ((at = code.find(token, at)) != std::string::npos) {
+    const bool left_ok = at == 0 || !is_ident_char(code[at - 1]);
+    const std::size_t after = at + token.size();
+    const bool right_ok = after >= code.size() || !is_ident_char(code[after]);
+    if (left_ok && right_ok) return true;
+    at = after;
+  }
+  return false;
+}
+
+/// True when `token` occurs as an identifier immediately followed by `(`
+/// (optionally spaced) and is NOT a member access (`.token(` / `->token(`),
+/// so free/std calls like `rand()` match but `obj.time()` does not.
+bool has_call(const std::string& code, std::string_view token) {
+  std::size_t at = 0;
+  while ((at = code.find(token, at)) != std::string::npos) {
+    const std::size_t after = at + token.size();
+    const bool left_ident = at > 0 && is_ident_char(code[at - 1]);
+    const bool member =
+        (at >= 1 && code[at - 1] == '.') ||
+        (at >= 2 && code[at - 2] == '-' && code[at - 1] == '>');
+    std::size_t j = after;
+    while (j < code.size() && code[j] == ' ') ++j;
+    const bool called = j < code.size() && code[j] == '(';
+    if (!left_ident && !member && called) return true;
+    at = after;
+  }
+  return false;
+}
+
+/// True when the line constructs an EventId from a raw value: the token
+/// `EventId` directly followed by a brace initializer with non-empty
+/// contents. `EventId id{}` (named variable) and `EventId{}` (null handle)
+/// are fine; `EventId{42}` forges a handle and bypasses the generation
+/// check that makes cancellation safe.
+bool has_raw_eventid(const std::string& code) {
+  static constexpr std::string_view kToken = "EventId";
+  std::size_t at = 0;
+  while ((at = code.find(kToken, at)) != std::string::npos) {
+    const std::size_t after = at + kToken.size();
+    const bool left_ok = at == 0 || !is_ident_char(code[at - 1]);
+    std::size_t j = after;
+    while (j < code.size() && code[j] == ' ') ++j;
+    if (left_ok && j < code.size() && code[j] == '{') {
+      const std::size_t close = code.find('}', j);
+      const std::string_view inside =
+          close == std::string::npos
+              ? std::string_view(code).substr(j + 1)
+              : std::string_view(code).substr(j + 1, close - j - 1);
+      const bool nonempty =
+          std::any_of(inside.begin(), inside.end(), [](unsigned char c) {
+            return !std::isspace(c);
+          });
+      if (nonempty) return true;
+    }
+    at = after;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------
+// Rules.
+// ---------------------------------------------------------------------
+
+bool path_starts_with(const std::string& rel, std::string_view prefix) {
+  return rel.size() >= prefix.size() &&
+         rel.compare(0, prefix.size(), prefix) == 0;
+}
+
+struct Rule {
+  std::string id;            ///< printed as [id]
+  std::string waiver_token;  ///< waived via `// cbs-lint: <token>-ok(...)`
+  std::string message;
+  bool (*applies)(const std::string& rel);
+  bool (*matches)(const std::string& code);
+};
+
+bool in_engine_layers(const std::string& rel) {
+  return path_starts_with(rel, "src/simcore/") ||
+         path_starts_with(rel, "src/core/");
+}
+bool in_src_outside_harness(const std::string& rel) {
+  return path_starts_with(rel, "src/") &&
+         !path_starts_with(rel, "src/harness/");
+}
+bool in_src(const std::string& rel) { return path_starts_with(rel, "src/"); }
+bool in_src_outside_simcore(const std::string& rel) {
+  return path_starts_with(rel, "src/") &&
+         !path_starts_with(rel, "src/simcore/");
+}
+
+/// `std::function` specifically — not members or locals named `function`,
+/// and not `<functional>` includes (the header is fine when every use is
+/// waived).
+bool matches_std_function(const std::string& code) {
+  std::size_t at = 0;
+  while ((at = code.find("function", at)) != std::string::npos) {
+    const bool qualified = at >= 5 && code.compare(at - 5, 5, "std::") == 0;
+    const std::size_t after = at + std::string_view("function").size();
+    const bool right_ok = after >= code.size() || !is_ident_char(code[after]);
+    if (qualified && right_ok) return true;
+    at = after;
+  }
+  return false;
+}
+
+const std::vector<Rule>& rules() {
+  static const std::vector<Rule> kRules = {
+      {"nondeterministic-container", "nondeterministic",
+       "hash-ordered container in sim state: simcore/core iterate their "
+       "tables, so only deterministic-order containers (FlatMap, std::map, "
+       "vector) are allowed",
+       in_engine_layers,
+       [](const std::string& code) {
+         return has_token(code, "unordered_map") ||
+                has_token(code, "unordered_set") ||
+                has_token(code, "unordered_multimap") ||
+                has_token(code, "unordered_multiset");
+       }},
+      {"wall-clock", "wall-clock",
+       "ambient randomness / wall-clock read inside the model: all "
+       "stochastic inputs must flow from the seeded RngStream and all time "
+       "from Simulation::now()",
+       in_src_outside_harness,
+       [](const std::string& code) {
+         return has_call(code, "rand") || has_call(code, "srand") ||
+                has_call(code, "time") || has_call(code, "clock") ||
+                has_call(code, "gettimeofday") ||
+                has_call(code, "clock_gettime") ||
+                has_token(code, "random_device") ||
+                has_token(code, "system_clock") ||
+                has_token(code, "steady_clock") ||
+                has_token(code, "high_resolution_clock");
+       }},
+      {"std-function", "std-function",
+       "std::function in the engine layers: schedule/hook paths must use "
+       "the move-only, SBO cbs::sim::UniqueFunction (simcore/callback.hpp)",
+       in_engine_layers, matches_std_function},
+      {"float-arithmetic", "float",
+       "float in model arithmetic: times and sizes are double end-to-end; "
+       "float rounding drifts fixed-seed outputs across compilers",
+       in_src,
+       [](const std::string& code) { return has_token(code, "float"); }},
+      {"eventid-raw", "eventid",
+       "EventId constructed from a raw value: handles must come from "
+       "schedule_at/schedule_in so cancel()'s generation check stays sound",
+       in_src_outside_simcore, has_raw_eventid},
+  };
+  return kRules;
+}
+
+// ---------------------------------------------------------------------
+// Driver.
+// ---------------------------------------------------------------------
+
+struct Violation {
+  std::string rel;
+  std::size_t line;
+  const Rule* rule;
+  std::string source_line;
+};
+
+struct Options {
+  fs::path root = ".";
+  bool list_waivers = false;
+  bool quiet = false;
+};
+
+bool should_scan(const fs::path& rel) {
+  const std::string s = rel.generic_string();
+  // The negative-lint fixtures deliberately violate every rule; they are
+  // scanned only when a fixture directory is passed as --root directly.
+  if (s.find("tests/lint/fixtures") != std::string::npos) return false;
+  // The checker documents the waiver grammar in its own comments, which
+  // would parse as malformed/stale waivers.
+  if (s.find("tools/cbs_lint") != std::string::npos) return false;
+  if (path_starts_with(s, "build")) return false;
+  const std::string ext = rel.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+std::optional<SourceFile> load(const fs::path& abs, const fs::path& rel,
+                               std::vector<std::string>* errors) {
+  std::ifstream in(abs);
+  if (!in) {
+    errors->push_back("cannot read " + abs.string());
+    return std::nullopt;
+  }
+  SourceFile f;
+  f.path = rel;
+  bool in_block = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    f.code.push_back(strip_line(line, in_block));
+    std::string err;
+    if (auto w = parse_waiver(line, f.raw.size() + 1, &err)) {
+      f.waivers.push_back(std::move(*w));
+    } else if (!err.empty()) {
+      errors->push_back(rel.generic_string() + ":" +
+                        std::to_string(f.raw.size() + 1) + ": " + err);
+    }
+    f.raw.push_back(std::move(line));
+  }
+  return f;
+}
+
+/// A violation on line N is suppressed by a matching waiver on line N or
+/// N-1 (comment directly above).
+bool try_waive(SourceFile& f, std::size_t lineno, const std::string& token) {
+  for (Waiver& w : f.waivers) {
+    if (w.token == token && (w.line == lineno || w.line + 1 == lineno)) {
+      w.used = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+int run(const Options& opt) {
+  std::vector<std::string> errors;
+  std::vector<SourceFile> files;
+
+  const std::vector<std::string> top_dirs = {"src", "tools", "bench", "tests",
+                                             "examples"};
+  std::vector<fs::path> paths;
+  for (const auto& dir : top_dirs) {
+    const fs::path base = opt.root / dir;
+    std::error_code ec;
+    if (!fs::is_directory(base, ec)) continue;
+    for (auto it = fs::recursive_directory_iterator(base, ec);
+         it != fs::recursive_directory_iterator(); it.increment(ec)) {
+      if (ec) {
+        errors.push_back("walk failed under " + base.string() + ": " +
+                         ec.message());
+        break;
+      }
+      if (!it->is_regular_file()) continue;
+      const fs::path rel = fs::relative(it->path(), opt.root, ec);
+      if (!ec && should_scan(rel)) paths.push_back(rel);
+    }
+  }
+  std::sort(paths.begin(), paths.end());  // deterministic report order
+
+  for (const fs::path& rel : paths) {
+    if (auto f = load(opt.root / rel, rel, &errors)) {
+      files.push_back(std::move(*f));
+    }
+  }
+
+  // Validate waiver tokens against the rule table up front, so a typo like
+  // `nondeterminstic-ok` fails loudly instead of silently not waiving.
+  for (const SourceFile& f : files) {
+    for (const Waiver& w : f.waivers) {
+      const bool known =
+          std::any_of(rules().begin(), rules().end(),
+                      [&](const Rule& r) { return r.waiver_token == w.token; });
+      if (!known) {
+        errors.push_back(f.path.generic_string() + ":" +
+                         std::to_string(w.line) + ": unknown waiver token '" +
+                         w.token + "-ok'");
+      }
+    }
+  }
+
+  std::vector<Violation> violations;
+  for (SourceFile& f : files) {
+    const std::string rel = f.path.generic_string();
+    for (const Rule& rule : rules()) {
+      if (!rule.applies(rel)) continue;
+      for (std::size_t i = 0; i < f.code.size(); ++i) {
+        if (!rule.matches(f.code[i])) continue;
+        if (try_waive(f, i + 1, rule.waiver_token)) continue;
+        violations.push_back({rel, i + 1, &rule, f.raw[i]});
+      }
+    }
+  }
+
+  // Stale waivers: a waiver that suppressed nothing is dead weight that
+  // would silently re-authorize a future violation — treat it as an error.
+  for (const SourceFile& f : files) {
+    for (const Waiver& w : f.waivers) {
+      if (!w.used) {
+        errors.push_back(f.path.generic_string() + ":" +
+                         std::to_string(w.line) + ": [stale-waiver] waiver '" +
+                         w.token + "-ok(" + w.reason +
+                         ")' suppresses nothing — delete it");
+      }
+    }
+  }
+
+  if (opt.list_waivers) {
+    std::size_t count = 0;
+    for (const SourceFile& f : files) {
+      for (const Waiver& w : f.waivers) {
+        if (!w.used) continue;
+        std::cout << f.path.generic_string() << ":" << w.line << ": ["
+                  << w.token << "-ok] " << w.reason << "\n";
+        ++count;
+      }
+    }
+    std::cout << "cbs_lint: " << count << " active waiver(s)\n";
+  }
+
+  for (const Violation& v : violations) {
+    std::cout << v.rel << ":" << v.line << ": [" << v.rule->id << "] "
+              << v.rule->message << "\n";
+    if (!opt.quiet) std::cout << "    " << v.source_line << "\n";
+  }
+  for (const std::string& e : errors) std::cout << e << "\n";
+
+  if (!violations.empty() || !errors.empty()) {
+    std::cout << "cbs_lint: FAILED — " << violations.size()
+              << " violation(s), " << errors.size() << " error(s) across "
+              << files.size() << " scanned file(s)\n";
+    return 1;
+  }
+  if (!opt.list_waivers) {
+    std::cout << "cbs_lint: OK — " << files.size()
+              << " file(s) clean\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      opt.root = argv[++i];
+    } else if (arg == "--list-waivers" || arg == "--fix-waivers") {
+      // --fix-waivers is the review spelling: print every active waiver
+      // (file, line, rule, reason) so they can be re-justified or removed.
+      opt.list_waivers = true;
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: cbs_lint [--root <dir>] [--list-waivers|"
+                   "--fix-waivers] [--quiet]\n";
+      return 0;
+    } else {
+      std::cerr << "cbs_lint: unknown argument '" << arg << "'\n";
+      return 2;
+    }
+  }
+  std::error_code ec;
+  if (!fs::is_directory(opt.root, ec)) {
+    std::cerr << "cbs_lint: --root " << opt.root << " is not a directory\n";
+    return 2;
+  }
+  return run(opt);
+}
