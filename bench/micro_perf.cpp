@@ -9,6 +9,7 @@
 #include "models/estimator.hpp"
 #include "harness/runner.hpp"
 #include "harness/scenario.hpp"
+#include "harness/world.hpp"
 #include "models/qrsm.hpp"
 #include "net/bandwidth_estimator.hpp"
 #include "net/link.hpp"
@@ -294,6 +295,46 @@ void BM_FaultedScenario(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FaultedScenario)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotFork(benchmark::State& state) {
+  // Cost of one deep fork of a live mid-run world (engine + controller +
+  // every sub-component + pending-event restoration). The lookahead
+  // policy pays this once per candidate per decision, so it must stay a
+  // small fraction of the horizon roll it enables (BM_LookaheadDecision).
+  auto scenario = cbs::harness::make_scenario(
+      cbs::core::SchedulerKind::kOrderPreserving,
+      cbs::workload::SizeBucket::kUniform, 42);
+  scenario.num_batches = 4;
+  cbs::harness::ScenarioWorld world(scenario);
+  world.run_until(400.0);  // uploads, EC work and probes all in flight
+  for (auto _ : state) {
+    auto forked = world.fork();
+    benchmark::DoNotOptimize(forked->now());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SnapshotFork)->Unit(benchmark::kMicrosecond);
+
+void BM_LookaheadDecision(benchmark::State& state) {
+  // One full model-predictive decision: fork the world once per candidate,
+  // inject the batch, roll each fork 900 s forward and score it.
+  auto scenario = cbs::harness::make_scenario(
+      cbs::core::SchedulerKind::kOrderPreserving,
+      cbs::workload::SizeBucket::kUniform, 42);
+  scenario.num_batches = 4;
+  cbs::harness::ScenarioWorld world(scenario);
+  world.run_until(350.0);
+  cbs::harness::LookaheadController::Config cfg;
+  cfg.horizon_seconds = 900.0;
+  cfg.candidates = 3;
+  const cbs::harness::LookaheadController lookahead(cfg);
+  const auto& batch = world.batches()[2];  // arrives at t=360, still pending
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lookahead.decide(world, batch));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LookaheadDecision)->Unit(benchmark::kMillisecond);
 
 void BM_ParallelPlan(benchmark::State& state) {
   // Scaling of the parallel experiment runner: a 6-cell plan (3 seeds x

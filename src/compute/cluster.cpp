@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "simcore/snapshot.hpp"
+
 namespace cbs::compute {
 
 using cbs::sim::SimTime;
@@ -16,6 +18,44 @@ Cluster::Cluster(cbs::sim::Simulation& sim, std::string name, std::size_t machin
   active_machines_ = machines;
   provision_level_ = machines;
   provision_since_ = sim.now();
+}
+
+Cluster::Cluster(cbs::sim::Simulation& dst, const Cluster& src)
+    : sim_(dst),
+      name_(src.name_),
+      speed_(src.speed_),
+      machines_(src.machines_),
+      running_tasks_(src.running_tasks_),
+      active_machines_(src.active_machines_),
+      down_(src.down_),
+      crashes_(src.crashes_),
+      reexecutions_(src.reexecutions_),
+      wasted_standard_seconds_(src.wasted_standard_seconds_),
+      provision_accum_(src.provision_accum_),
+      provision_since_(src.provision_since_),
+      provision_level_(src.provision_level_),
+      queue_(src.queue_),
+      running_(src.running_),
+      queued_standard_seconds_(src.queued_standard_seconds_),
+      next_id_(src.next_id_),
+      completed_(src.completed_) {
+#ifndef NDEBUG
+  for (const Pending& p : queue_) {
+    assert(!p.on_complete && "closure-based tasks cannot cross a fork");
+  }
+  for (const auto& run : running_tasks_) {
+    assert((!run || !run->task.on_complete) &&
+           "closure-based tasks cannot cross a fork");
+  }
+#endif
+}
+
+void Cluster::rebuild_events(cbs::sim::SnapshotContext& ctx) {
+  for (std::size_t m = 0; m < running_tasks_.size(); ++m) {
+    if (!running_tasks_[m]) continue;
+    running_tasks_[m]->completion =
+        ctx.restore(running_tasks_[m]->completion, [this, m] { finish(m); });
+  }
 }
 
 void Cluster::note_provision_change(std::size_t new_count) {
@@ -80,8 +120,19 @@ TaskId Cluster::submit(double standard_service_seconds, std::uint64_t group_id,
                        Callback on_complete) {
   assert(standard_service_seconds >= 0.0);
   const TaskId id = next_id_++;
-  queue_.push_back(Pending{id, group_id, sim_.now(), standard_service_seconds,
-                           std::move(on_complete)});
+  queue_.push_back(Pending{id, group_id, 0, sim_.now(),
+                           standard_service_seconds, std::move(on_complete)});
+  queued_standard_seconds_ += standard_service_seconds;
+  dispatch();
+  return id;
+}
+
+TaskId Cluster::submit(double standard_service_seconds, std::uint64_t group_id,
+                       std::uint32_t kind) {
+  assert(standard_service_seconds >= 0.0);
+  const TaskId id = next_id_++;
+  queue_.push_back(Pending{id, group_id, kind, sim_.now(),
+                           standard_service_seconds, nullptr});
   queued_standard_seconds_ += standard_service_seconds;
   dispatch();
   return id;
@@ -138,6 +189,7 @@ void Cluster::finish(std::size_t machine_idx) {
   TaskRecord rec;
   rec.task_id = task.task_id;
   rec.group_id = task.group_id;
+  rec.kind = task.kind;
   rec.enqueued = task.enqueued;
   rec.started = started;
   rec.completed = sim_.now();
@@ -148,7 +200,11 @@ void Cluster::finish(std::size_t machine_idx) {
   // Pull the next task before invoking callbacks, so the machine never sits
   // idle across a callback that might enqueue more work.
   dispatch();
-  if (task.on_complete) task.on_complete(rec);
+  if (task.on_complete) {
+    task.on_complete(rec);
+  } else if (task_complete_hook_) {
+    task_complete_hook_(rec);
+  }
   if (task_done_hook_) task_done_hook_();
   if (queue_.empty() && !machines_[machine_idx].busy && idle_hook_) {
     idle_hook_(machine_idx);

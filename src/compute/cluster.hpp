@@ -10,6 +10,10 @@
 #include "simcore/simulation.hpp"
 #include "simcore/time.hpp"
 
+namespace cbs::sim {
+class SnapshotContext;
+}
+
 namespace cbs::compute {
 
 using TaskId = std::uint64_t;
@@ -18,6 +22,7 @@ using TaskId = std::uint64_t;
 struct TaskRecord {
   TaskId task_id = 0;
   std::uint64_t group_id = 0;  ///< caller-defined grouping (e.g. job id)
+  std::uint32_t kind = 0;      ///< caller-defined task kind (0 = untagged)
   cbs::sim::SimTime enqueued = 0.0;
   cbs::sim::SimTime started = 0.0;
   cbs::sim::SimTime completed = 0.0;
@@ -39,9 +44,26 @@ class Cluster {
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
+  /// Fork support: copies `src`'s value state (machines, queue, running
+  /// tasks, accounting) into a cluster bound to `dst`. Hooks are NOT
+  /// copied — owners re-register them on the clone — and then
+  /// rebuild_events() re-schedules the running tasks' completions.
+  /// Precondition: no queued or running task carries a per-task closure
+  /// (closure submissions cannot cross a fork; use the kind-tagged form).
+  Cluster(cbs::sim::Simulation& dst, const Cluster& src);
+
+  /// Re-schedules pending completion events after a fork.
+  void rebuild_events(cbs::sim::SnapshotContext& ctx);
+
   /// Enqueues a task needing `standard_service_seconds` of speed-1 compute.
   TaskId submit(double standard_service_seconds, std::uint64_t group_id,
                 Callback on_complete);
+
+  /// Kind-tagged submission — the forkable form: completion is dispatched
+  /// to the set-once task-complete hook with `kind` in the record instead
+  /// of a per-task closure.
+  TaskId submit(double standard_service_seconds, std::uint64_t group_id,
+                std::uint32_t kind);
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   /// Machines currently provisioned (retired ones excluded).
@@ -83,6 +105,13 @@ class Cluster {
   /// topped up without polling.
   void set_task_done_hook(std::function<void()> hook) {
     task_done_hook_ = std::move(hook);
+  }
+
+  /// Registers the completion hook for kind-tagged tasks (tasks submitted
+  /// without a closure). Fires before task_done_hook_, in the position the
+  /// per-task closure would have run.
+  void set_task_complete_hook(Callback hook) {
+    task_complete_hook_ = std::move(hook);
   }
 
   // ---- Elasticity (pay-as-you-go instances) --------------------------
@@ -145,9 +174,10 @@ class Cluster {
   struct Pending {
     TaskId task_id;
     std::uint64_t group_id;
+    std::uint32_t kind;
     cbs::sim::SimTime enqueued;
     double standard_service;
-    Callback on_complete;
+    Callback on_complete;  ///< closure form (non-forkable); else hook fires
   };
 
   /// The task executing on one machine, kept out of the completion-event
@@ -184,6 +214,7 @@ class Cluster {
   std::vector<TaskRecord> completed_;
   std::function<void(std::size_t)> idle_hook_;
   std::function<void()> task_done_hook_;
+  Callback task_complete_hook_;
 };
 
 }  // namespace cbs::compute

@@ -5,10 +5,16 @@
 #include <limits>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "simcore/simulation.hpp"
 #include "simcore/time.hpp"
 #include "stats/timeseries.hpp"
+#include "util/flat_map.hpp"
+
+namespace cbs::sim {
+class SnapshotContext;
+}
 
 namespace cbs::compute {
 
@@ -41,11 +47,29 @@ class JobStore {
 
   using PutHandler = std::function<void(bool ok)>;
   using GetHandler = std::function<void(bool ok, double bytes)>;
+  /// A registered continuation: receives the caller's tag and the result
+  /// (`bytes` is the object size for gets, the stored size for puts).
+  using Continuation =
+      std::function<void(std::uint64_t tag, bool ok, double bytes)>;
 
   explicit JobStore(cbs::sim::Simulation& sim) : JobStore(sim, Config{}) {}
   JobStore(cbs::sim::Simulation& sim, Config config);
   JobStore(const JobStore&) = delete;
   JobStore& operator=(const JobStore&) = delete;
+
+  /// Fork support: copies `src`'s value state (objects, occupancy
+  /// accounting, pending retry records) into a store bound to `dst`.
+  /// Continuations are NOT copied — the owner must register them on the
+  /// clone in source order, then call rebuild_events(). Precondition: no
+  /// closure-based async op is awaiting a retry.
+  JobStore(cbs::sim::Simulation& dst, const JobStore& src);
+
+  /// Registers a continuation and returns its slot for the tag-based
+  /// async forms.
+  int register_continuation(Continuation continuation);
+
+  /// Re-schedules pending retry events after a fork.
+  void rebuild_events(cbs::sim::SnapshotContext& ctx);
 
   /// Stores `bytes` under `key`; overwrites an existing object.
   void put(const std::string& key, double bytes);
@@ -74,6 +98,13 @@ class JobStore {
   /// definite answer, not an outage).
   void get_async(const std::string& key, GetHandler done);
 
+  /// Tag-based forms — the forkable path: the result is dispatched to the
+  /// registered continuation `slot` with `tag`, and a pending retry is
+  /// value state (re-schedulable across a fork) instead of a closure.
+  void put_async(const std::string& key, double bytes, int slot,
+                 std::uint64_t tag);
+  void get_async(const std::string& key, int slot, std::uint64_t tag);
+
   /// Async attempts that failed (unavailable or over capacity).
   [[nodiscard]] std::uint64_t failed_attempts() const noexcept {
     return failed_attempts_;
@@ -95,12 +126,26 @@ class JobStore {
   [[nodiscard]] const Config& config() const noexcept { return config_; }
 
  private:
+  /// One tag-based async op awaiting its next retry — pure value state
+  /// plus the pending event id, so forks can re-schedule it.
+  struct PendingOp {
+    bool is_put = false;
+    std::string key;
+    double bytes = 0.0;  ///< puts only
+    int slot = -1;
+    std::uint64_t tag = 0;
+    int attempt = 0;
+    cbs::sim::EventId retry{};
+  };
+
   cbs::sim::Simulation& sim_;
   void integrate();
   [[nodiscard]] cbs::sim::SimDuration backoff_delay(int attempt) const;
   void attempt_put(const std::string& key, double bytes, PutHandler done,
                    int attempt);
   void attempt_get(const std::string& key, GetHandler done, int attempt);
+  void step_op(PendingOp op);
+  void retry_op(std::uint64_t op_id);
 
   Config config_;
   bool available_ = true;
@@ -112,6 +157,10 @@ class JobStore {
   double byte_seconds_ = 0.0;
   cbs::sim::SimTime last_change_ = 0.0;
   cbs::stats::TimeSeries history_;
+  std::vector<Continuation> continuations_;
+  cbs::util::FlatMap<std::uint64_t, PendingOp> pending_ops_;
+  std::uint64_t next_op_id_ = 1;
+  std::uint64_t closure_retries_pending_ = 0;  ///< blocks forking when > 0
 };
 
 }  // namespace cbs::compute

@@ -39,12 +39,33 @@ class MapReduceRuntime {
  public:
   using Callback = std::function<void(const MapReduceRecord&)>;
 
+  /// Cluster task kinds used by the runtime's kind-tagged submissions.
+  static constexpr std::uint32_t kMapTask = 1;
+  static constexpr std::uint32_t kMergeTask = 2;
+
   MapReduceRuntime(cbs::sim::Simulation& sim, Cluster& cluster);
   MapReduceRuntime(const MapReduceRuntime&) = delete;
   MapReduceRuntime& operator=(const MapReduceRuntime&) = delete;
 
+  /// Fork support: copies `src`'s in-flight bookkeeping into a runtime
+  /// bound to `dst` and `cluster` (the forked cluster) and re-registers
+  /// the cluster's task-complete hook. The runtime schedules no events of
+  /// its own — its pending state is all cluster tasks, which the cluster's
+  /// own rebuild_events() restores. Precondition: every in-flight job was
+  /// submitted through the hook form run(spec).
+  MapReduceRuntime(cbs::sim::Simulation& dst, const MapReduceRuntime& src,
+                   Cluster& cluster);
+
   /// Submits a job; `on_complete` fires when its merge task finishes.
+  /// Closure form — jobs submitted this way cannot cross a fork.
   void run(const MapReduceSpec& spec, Callback on_complete);
+
+  /// Submits a job whose completion is dispatched to the set-once
+  /// set_on_complete() hook — the forkable form.
+  void run(const MapReduceSpec& spec);
+
+  /// Registers the completion hook for jobs submitted via run(spec).
+  void set_on_complete(Callback hook) { on_complete_ = std::move(hook); }
 
   [[nodiscard]] Cluster& cluster() noexcept { return cluster_; }
   [[nodiscard]] std::size_t jobs_in_flight() const noexcept { return in_flight_.size(); }
@@ -56,15 +77,20 @@ class MapReduceRuntime {
   struct InFlight {
     MapReduceSpec spec;
     cbs::sim::SimTime submitted = 0.0;
+    cbs::sim::SimTime maps_done = 0.0;  ///< set when the last map finishes
     int maps_remaining = 0;
-    Callback on_complete;
+    bool hook_form = false;  ///< submitted via run(spec); forkable
+    Callback on_complete;    ///< closure form only
   };
 
+  void on_cluster_task(const TaskRecord& rec);
   void on_map_done(std::uint64_t job_id);
   void start_merge(std::uint64_t job_id);
+  void finish_merge(std::uint64_t job_id, const TaskRecord& merge);
 
   cbs::sim::Simulation& sim_;
   Cluster& cluster_;
+  Callback on_complete_;  ///< hook-form completion dispatch
   // Sorted-vector map: job ids are monotonic, so inserts append; keeps the
   // compute layer free of hash-ordered containers like simcore/core.
   cbs::util::FlatMap<std::uint64_t, InFlight> in_flight_;

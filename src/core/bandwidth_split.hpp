@@ -55,6 +55,12 @@ class BandwidthSplitScheduler final : public OrderPreservingScheduler {
 
   [[nodiscard]] const SizeIntervalBounds& bounds() const noexcept { return bounds_; }
 
+  [[nodiscard]] std::unique_ptr<Scheduler> clone() const override {
+    auto out = std::make_unique<BandwidthSplitScheduler>();
+    out->bounds_ = bounds_;  // carry the in-force Algorithm-3 bounds
+    return out;
+  }
+
  protected:
   [[nodiscard]] ScheduleDecision place(const cbs::workload::Document& doc,
                                        Context& ctx) override;

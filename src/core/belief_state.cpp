@@ -34,6 +34,29 @@ BeliefState::BeliefState(
                                                  ec_job_parallelism)));
 }
 
+BeliefState::BeliefState(
+    const BeliefState& src,
+    const cbs::models::ProcessingTimeEstimator& service_estimator,
+    const cbs::net::BandwidthEstimator& uplink_estimator,
+    const cbs::net::BandwidthEstimator& downlink_estimator)
+    : service_estimator_(service_estimator),
+      uplink_(uplink_estimator),
+      downlink_(downlink_estimator),
+      ic_machines_(src.ic_machines_),
+      ic_speed_(src.ic_speed_),
+      ec_machines_(src.ec_machines_),
+      ec_speed_(src.ec_speed_),
+      ic_job_rate_(src.ic_job_rate_),
+      ec_job_rate_(src.ec_job_rate_),
+      ec_job_overhead_(src.ec_job_overhead_),
+      ic_jobs_(src.ic_jobs_),
+      ic_outstanding_seconds_(src.ic_outstanding_seconds_),
+      ec_jobs_(src.ec_jobs_),
+      ec_finish_heap_(src.ec_finish_heap_),
+      ec_outstanding_seconds_(src.ec_outstanding_seconds_),
+      upload_backlog_bytes_(src.upload_backlog_bytes_),
+      view_(src.view_) {}
+
 double BeliefState::estimate_service(const cbs::workload::Document& doc) const {
   return service_estimator_.estimate_seconds(doc);
 }

@@ -49,6 +49,13 @@ class BeliefState {
               double ec_speed, int ic_job_parallelism = 1,
               int ec_job_parallelism = 1, double ec_job_overhead_seconds = 0.0);
 
+  /// Fork support: copies `src`'s believed state wholesale, rebinding the
+  /// estimator references to the fork's clones. Pure value copy otherwise.
+  BeliefState(const BeliefState& src,
+              const cbs::models::ProcessingTimeEstimator& service_estimator,
+              const cbs::net::BandwidthEstimator& uplink_estimator,
+              const cbs::net::BandwidthEstimator& downlink_estimator);
+
   /// Estimated standard-machine service seconds for a document (t^e(i)).
   [[nodiscard]] double estimate_service(const cbs::workload::Document& doc) const;
 

@@ -9,6 +9,7 @@ std::string_view to_string(SchedulerKind kind) noexcept {
     case SchedulerKind::kOrderPreserving: return "order-preserving";
     case SchedulerKind::kBandwidthSplit: return "op-bandwidth-split";
     case SchedulerKind::kRandom: return "random";
+    case SchedulerKind::kLookahead: return "lookahead";
   }
   return "?";
 }

@@ -22,6 +22,7 @@ enum class SchedulerKind : std::uint8_t {
   kOrderPreserving,  ///< Algorithm 2
   kBandwidthSplit,   ///< Algorithm 2 + Algorithm 3 (size-interval splitting)
   kRandom,           ///< model-free baseline (§III cites [8]'s random scheduler)
+  kLookahead,        ///< model-predictive: fork the sim, roll candidates forward
 };
 
 [[nodiscard]] std::string_view to_string(SchedulerKind kind) noexcept;

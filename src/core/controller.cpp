@@ -6,6 +6,7 @@
 #include <string>
 
 #include "models/per_class_qrsm.hpp"
+#include "simcore/snapshot.hpp"
 #include "sla/slack.hpp"
 
 namespace cbs::core {
@@ -70,22 +71,11 @@ CloudBurstController::CloudBurstController(cbs::sim::Simulation& sim,
                          : config_.single_queue_upload_slots),
       download_queue_(sim, downlink_, down_tuner_, 1, config_.download_slots) {
   if (config_.log_sink) log_.set_sink(config_.log_sink);
-  upload_queues_.set_on_complete(
-      [this](std::uint64_t seq, int, const net::TransferRecord& rec) {
-        on_upload_done(seq, rec);
-      });
-  download_queue_.set_on_complete(
-      [this](std::uint64_t seq, int, const net::TransferRecord& rec) {
-        on_download_done(seq, rec);
-      });
-  ic_cluster_.set_task_done_hook([this] { dispatch_ic(); });
+  wire_hooks();
   if (config_.scheduler == SchedulerKind::kGreedy) {
     // Algorithm 1 conditions on "the current transit bandwidth" — the
     // transient reading, not the learned time-of-day model (§IV.D).
     belief_.set_bandwidth_view(BandwidthView::kTransient);
-  }
-  if (config_.enable_rescheduler) {
-    ic_cluster_.set_idle_hook([this](std::size_t) { maybe_pull_back(); });
   }
   if (config_.faults.enabled()) {
     fault_plan_ = std::make_unique<sim::FaultPlan>(sim_, config_.faults,
@@ -102,6 +92,152 @@ CloudBurstController::CloudBurstController(cbs::sim::Simulation& sim,
     fault_plan_->drive_outages(
         [this](const sim::OutageWindow&) { on_outage_begin(); },
         [this] { on_outage_end(); });
+  }
+}
+
+CloudBurstController::CloudBurstController(cbs::sim::Simulation& dst,
+                                           const CloudBurstController& src,
+                                           cbs::workload::GroundTruthModel& truth)
+    : sim_(dst),
+      config_(src.config_),
+      truth_(truth),
+      log_("controller", config_.log_threshold),
+      ic_cluster_(dst, src.ic_cluster_),
+      ec_cluster_(dst, src.ec_cluster_),
+      ic_runtime_(dst, src.ic_runtime_, ic_cluster_),
+      ec_runtime_(dst, src.ec_runtime_, ec_cluster_),
+      uplink_(dst, src.uplink_),
+      downlink_(dst, src.downlink_),
+      store_(dst, src.store_),
+      uplink_estimator_(src.uplink_estimator_),
+      downlink_estimator_(src.downlink_estimator_),
+      up_tuner_(src.up_tuner_),
+      down_tuner_(src.down_tuner_),
+      proc_estimator_(src.proc_estimator_->clone(truth)),
+      belief_(src.belief_, *proc_estimator_, uplink_estimator_,
+              downlink_estimator_),
+      scheduler_(src.scheduler_->clone()),
+      upload_queues_(dst, src.upload_queues_, uplink_, up_tuner_),
+      download_queue_(dst, src.download_queue_, downlink_, down_tuner_),
+      jobs_(src.jobs_),
+      ic_wait_(src.ic_wait_),
+      outcomes_(src.outcomes_),
+      next_seq_(src.next_seq_),
+      next_doc_id_(src.next_doc_id_),
+      outstanding_(src.outstanding_),
+      probe_scheduled_(src.probe_scheduled_),
+      pull_backs_(src.pull_backs_),
+      push_outs_(src.push_outs_),
+      stage_log_(src.stage_log_),
+      elastic_check_scheduled_(src.elastic_check_scheduled_),
+      pending_boots_(src.pending_boots_),
+      scale_ups_(src.scale_ups_),
+      scale_downs_(src.scale_downs_),
+      probe_event_(src.probe_event_),
+      elastic_event_(src.elastic_event_),
+      boot_events_(src.boot_events_),
+      next_boot_id_(src.next_boot_id_),
+      burst_deadlines_(src.burst_deadlines_),
+      retractions_(src.retractions_),
+      probe_blackout_skips_(src.probe_blackout_skips_) {
+  assert(proc_estimator_ != nullptr &&
+         "estimator kind does not support forking");
+  assert(scheduler_ != nullptr && "scheduler does not support forking");
+  if (config_.log_sink) log_.set_sink(config_.log_sink);
+  wire_hooks();
+  // Slot indices are the cross-fork contract: pending transfers/ops carry
+  // them, so registration order on the clone must reproduce the source's.
+  assert(store_input_slot_ == src.store_input_slot_);
+  assert(store_output_slot_ == src.store_output_slot_);
+  assert(probe_up_slot_ == src.probe_up_slot_);
+  assert(probe_down_slot_ == src.probe_down_slot_);
+  for (const auto& entry : src.alt_schedulers_) {
+    auto copy = entry.second->clone();
+    assert(copy != nullptr);
+    alt_schedulers_.emplace_back(entry.first, std::move(copy));
+  }
+  if (src.fault_plan_) {
+    fault_plan_ = std::make_unique<sim::FaultPlan>(dst, *src.fault_plan_);
+    fault_plan_->set_active([this] { return outstanding_ > 0; });
+    // Hook indices follow the primary constructor's drive_vm_crashes()
+    // order: IC (when driven) before EC (when driven).
+    std::size_t idx = 0;
+    if (config_.faults.ic_vm_mtbf > 0.0 && config_.topology.ic_machines > 0) {
+      fault_plan_->rebind_cluster_hooks(
+          idx++, [this](std::size_t m) { ic_cluster_.crash_machine(m); },
+          [this](std::size_t m) { ic_cluster_.recover_machine(m); });
+    }
+    if (config_.faults.ec_vm_mtbf > 0.0 && config_.topology.ec_machines > 0) {
+      fault_plan_->rebind_cluster_hooks(
+          idx++, [this](std::size_t m) { ec_cluster_.crash_machine(m); },
+          [this](std::size_t m) { ec_cluster_.recover_machine(m); });
+    }
+    fault_plan_->rebind_outage_hooks(
+        [this](const sim::OutageWindow&) { on_outage_begin(); },
+        [this] { on_outage_end(); });
+  }
+}
+
+void CloudBurstController::wire_hooks() {
+  upload_queues_.set_on_complete(
+      [this](std::uint64_t seq, int, const net::TransferRecord& rec) {
+        on_upload_done(seq, rec);
+      });
+  download_queue_.set_on_complete(
+      [this](std::uint64_t seq, int, const net::TransferRecord& rec) {
+        on_download_done(seq, rec);
+      });
+  ic_cluster_.set_task_done_hook([this] { dispatch_ic(); });
+  ic_runtime_.set_on_complete(
+      [this](const compute::MapReduceRecord& rec) { on_ic_done(rec.job_id); });
+  ec_runtime_.set_on_complete([this](const compute::MapReduceRecord& rec) {
+    on_ec_proc_done(rec.job_id);
+  });
+  if (config_.enable_rescheduler) {
+    ic_cluster_.set_idle_hook([this](std::size_t) { maybe_pull_back(); });
+  }
+  // Link-handler registration order is part of the fork contract: the
+  // transfer queue sets claimed slot 0 of each link during member
+  // construction, so the probe handlers land on slot 1 in source and clone
+  // alike.
+  probe_up_slot_ = uplink_.register_handler(
+      [this](std::uint64_t, const net::TransferRecord& rec) {
+        uplink_estimator_.observe(sim_.now(), rec.transfer_rate());
+        up_tuner_.report(sim_.now(), rec.threads, rec.transfer_rate());
+      });
+  probe_down_slot_ = downlink_.register_handler(
+      [this](std::uint64_t, const net::TransferRecord& rec) {
+        downlink_estimator_.observe(sim_.now(), rec.transfer_rate());
+        down_tuner_.report(sim_.now(), rec.threads, rec.transfer_rate());
+      });
+  store_input_slot_ = store_.register_continuation(
+      [this](std::uint64_t seq, bool ok, double) { on_input_staged(seq, ok); });
+  store_output_slot_ = store_.register_continuation(
+      [this](std::uint64_t seq, bool ok, double) { on_output_staged(seq, ok); });
+}
+
+void CloudBurstController::rebuild_events(cbs::sim::SnapshotContext& ctx) {
+  uplink_.rebuild_events(ctx);
+  downlink_.rebuild_events(ctx);
+  ic_cluster_.rebuild_events(ctx);
+  ec_cluster_.rebuild_events(ctx);
+  store_.rebuild_events(ctx);
+  if (fault_plan_) fault_plan_->rebuild_events(ctx);
+  for (auto& entry : burst_deadlines_) {
+    const std::uint64_t seq = entry.first;
+    entry.second =
+        ctx.restore(entry.second, [this, seq] { on_burst_deadline(seq); });
+  }
+  if (probe_scheduled_) {
+    probe_event_ = ctx.restore(probe_event_, [this] { probe(); });
+  }
+  if (elastic_check_scheduled_) {
+    elastic_event_ = ctx.restore(elastic_event_, [this] { elastic_check(); });
+  }
+  for (auto& entry : boot_events_) {
+    const std::uint64_t boot_id = entry.first;
+    entry.second =
+        ctx.restore(entry.second, [this, boot_id] { on_boot_done(boot_id); });
   }
 }
 
@@ -178,6 +314,29 @@ void CloudBurstController::on_batch(const cbs::workload::Batch& batch) {
   }
 }
 
+void CloudBurstController::on_batch_as(const cbs::workload::Batch& batch,
+                                       SchedulerKind kind) {
+  std::unique_ptr<Scheduler>* alt = nullptr;
+  for (auto& entry : alt_schedulers_) {
+    if (entry.first == kind) {
+      alt = &entry.second;
+      break;
+    }
+  }
+  if (alt == nullptr) {
+    alt_schedulers_.emplace_back(kind, make_scheduler(kind));
+    alt = &alt_schedulers_.back().second;
+  }
+  std::swap(scheduler_, *alt);
+  const BandwidthView saved_view = belief_.bandwidth_view();
+  belief_.set_bandwidth_view(kind == SchedulerKind::kGreedy
+                                 ? BandwidthView::kTransient
+                                 : BandwidthView::kLearned);
+  on_batch(batch);
+  belief_.set_bandwidth_view(saved_view);
+  std::swap(scheduler_, *alt);
+}
+
 compute::MapReduceSpec CloudBurstController::spec_for(const Job& job,
                                                       double merge_per_mb) const {
   compute::MapReduceSpec spec;
@@ -219,10 +378,7 @@ void CloudBurstController::set_state(Job& job, JobState state) {
 void CloudBurstController::run_on_ic(std::uint64_t seq) {
   Job& job = job_at(seq);
   set_state(job, JobState::kIcRunning);
-  ic_runtime_.run(spec_for(job, config_.topology.merge_seconds_per_output_mb),
-                  [this, seq](const compute::MapReduceRecord&) {
-                    on_ic_done(seq);
-                  });
+  ic_runtime_.run(spec_for(job, config_.topology.merge_seconds_per_output_mb));
 }
 
 void CloudBurstController::on_ic_done(std::uint64_t seq) {
@@ -248,16 +404,18 @@ void CloudBurstController::on_upload_done(std::uint64_t seq,
   // Stage the input. With the store healthy this completes synchronously;
   // during an outage it retries with backoff, and a permanent failure
   // falls back to internal execution (the upload was wasted).
-  store_.put_async(input_key(seq), rec.bytes, [this, seq](bool ok) {
-    if (ok) {
-      start_ec_processing(seq);
-    } else {
-      readmit_to_ic(seq, 0.0, "input staging abandoned");
-    }
-  });
+  store_.put_async(input_key(seq), rec.bytes, store_input_slot_, seq);
 
   if (config_.enable_rescheduler && upload_queues_.idle()) {
     maybe_push_out();
+  }
+}
+
+void CloudBurstController::on_input_staged(std::uint64_t seq, bool ok) {
+  if (ok) {
+    start_ec_processing(seq);
+  } else {
+    readmit_to_ic(seq, 0.0, "input staging abandoned");
   }
 }
 
@@ -270,10 +428,7 @@ void CloudBurstController::start_ec_processing(std::uint64_t seq) {
   // merge task (speed-scaled so it costs the configured wall seconds).
   spec.merge_seconds +=
       config_.topology.ec_job_overhead_seconds * config_.topology.ec_speed;
-  ec_runtime_.run(spec,
-                  [this, seq](const compute::MapReduceRecord&) {
-                    on_ec_proc_done(seq);
-                  });
+  ec_runtime_.run(spec);
 }
 
 void CloudBurstController::on_ec_proc_done(std::uint64_t seq) {
@@ -281,18 +436,20 @@ void CloudBurstController::on_ec_proc_done(std::uint64_t seq) {
   // The merge task already covered compression cost; swap input for the
   // compressed output in the store and ship it home.
   store_.erase(input_key(seq));
-  store_.put_async(
-      output_key(seq), job.doc.output_bytes(), [this, seq](bool ok) {
-        if (!ok) {
-          // The result exists only on EC and cannot be staged for download:
-          // the external execution is wasted, re-run internally.
-          readmit_to_ic(seq, 0.0, "output staging abandoned");
-          return;
-        }
-        Job& j = job_at(seq);
-        set_state(j, JobState::kDownloading);
-        download_queue_.enqueue(seq, j.doc.output_bytes(), 0);
-      });
+  store_.put_async(output_key(seq), job.doc.output_bytes(), store_output_slot_,
+                   seq);
+}
+
+void CloudBurstController::on_output_staged(std::uint64_t seq, bool ok) {
+  if (!ok) {
+    // The result exists only on EC and cannot be staged for download:
+    // the external execution is wasted, re-run internally.
+    readmit_to_ic(seq, 0.0, "output staging abandoned");
+    return;
+  }
+  Job& job = job_at(seq);
+  set_state(job, JobState::kDownloading);
+  download_queue_.enqueue(seq, job.doc.output_bytes(), 0);
 }
 
 void CloudBurstController::on_download_done(std::uint64_t seq,
@@ -332,11 +489,12 @@ sla::CostInputs CloudBurstController::cost_inputs() const {
 void CloudBurstController::ensure_probing() {
   if (probe_scheduled_ || config_.probe_interval <= 0.0) return;
   probe_scheduled_ = true;
-  sim_.schedule_in(config_.probe_interval, [this] { probe(); });
+  probe_event_ = sim_.schedule_in(config_.probe_interval, [this] { probe(); });
 }
 
 void CloudBurstController::probe() {
   probe_scheduled_ = false;
+  probe_event_ = cbs::sim::EventId{};
   if (outstanding_ == 0) return;  // run over; stop generating events
   if (config_.faults.in_probe_blackout(sim_.now())) {
     // Probe infrastructure is down: skip the measurement but keep the
@@ -347,18 +505,9 @@ void CloudBurstController::probe() {
   }
 
   const int up_threads = up_tuner_.suggest(sim_.now());
-  uplink_.submit(config_.probe_bytes, up_threads,
-                 [this](const net::TransferRecord& rec) {
-                   uplink_estimator_.observe(sim_.now(), rec.transfer_rate());
-                   up_tuner_.report(sim_.now(), rec.threads, rec.transfer_rate());
-                 });
+  uplink_.submit(config_.probe_bytes, up_threads, probe_up_slot_, 0);
   const int down_threads = down_tuner_.suggest(sim_.now());
-  downlink_.submit(config_.probe_bytes, down_threads,
-                   [this](const net::TransferRecord& rec) {
-                     downlink_estimator_.observe(sim_.now(), rec.transfer_rate());
-                     down_tuner_.report(sim_.now(), rec.threads,
-                                        rec.transfer_rate());
-                   });
+  downlink_.submit(config_.probe_bytes, down_threads, probe_down_slot_, 0);
   ensure_probing();
 }
 
@@ -446,11 +595,13 @@ void CloudBurstController::on_outage_end() {
 void CloudBurstController::ensure_elastic_check() {
   if (!config_.elastic_ec.enabled || elastic_check_scheduled_) return;
   elastic_check_scheduled_ = true;
-  sim_.schedule_in(config_.elastic_ec.check_interval, [this] { elastic_check(); });
+  elastic_event_ = sim_.schedule_in(config_.elastic_ec.check_interval,
+                                    [this] { elastic_check(); });
 }
 
 void CloudBurstController::elastic_check() {
   elastic_check_scheduled_ = false;
+  elastic_event_ = cbs::sim::EventId{};
   if (outstanding_ == 0) return;  // run over; let the simulation drain
   const ElasticEcConfig& e = config_.elastic_ec;
 
@@ -466,11 +617,9 @@ void CloudBurstController::elastic_check() {
     ++pending_boots_;
     ++scale_ups_;
     log_.info(sim_.now(), "elastic EC: scaling up to ", provisioned + 1);
-    sim_.schedule_in(e.boot_delay, [this] {
-      --pending_boots_;
-      ec_cluster_.add_machine();
-      belief_.set_ec_machines(ec_cluster_.machine_count());
-    });
+    const std::uint64_t boot_id = next_boot_id_++;
+    boot_events_[boot_id] =
+        sim_.schedule_in(e.boot_delay, [this, boot_id] { on_boot_done(boot_id); });
   } else if (provisioned > e.min_machines && pending_boots_ == 0) {
     const auto idle = static_cast<double>(ec_cluster_.machine_count() -
                                           ec_cluster_.running_tasks());
@@ -486,6 +635,13 @@ void CloudBurstController::elastic_check() {
     }
   }
   ensure_elastic_check();
+}
+
+void CloudBurstController::on_boot_done(std::uint64_t boot_id) {
+  boot_events_.erase(boot_id);
+  --pending_boots_;
+  ec_cluster_.add_machine();
+  belief_.set_ec_machines(ec_cluster_.machine_count());
 }
 
 // ---- §IV.D rescheduling strategies (paper future work, behind a flag) --

@@ -47,6 +47,19 @@ class CloudBurstController {
   CloudBurstController(const CloudBurstController&) = delete;
   CloudBurstController& operator=(const CloudBurstController&) = delete;
 
+  /// Fork support: deep-copies `src` into a controller bound to the (empty)
+  /// destination engine `dst` and the fork's ground-truth model. Every
+  /// sub-component is value-cloned and rebound to its forked peers; call
+  /// rebuild_events() afterwards to re-schedule the pending work, then
+  /// SnapshotContext::finish() to verify nothing was orphaned.
+  CloudBurstController(cbs::sim::Simulation& dst,
+                       const CloudBurstController& src,
+                       cbs::workload::GroundTruthModel& truth);
+
+  /// Re-schedules all pending events owned by this controller and its
+  /// sub-components after a fork.
+  void rebuild_events(cbs::sim::SnapshotContext& ctx);
+
   /// Seeds the QRSM with a labeled factory corpus (§III.A.1: "initial best
   /// estimate model based on a standard set of production data"). No-op for
   /// the oracle estimator.
@@ -55,6 +68,13 @@ class CloudBurstController {
 
   /// Handles one arriving batch (wire this to BatchArrivalProcess).
   void on_batch(const cbs::workload::Batch& batch);
+
+  /// Handles one arriving batch using a temporarily swapped-in scheduler of
+  /// `kind` (the lookahead controller commits its chosen candidate through
+  /// this). The belief's bandwidth view follows the candidate the way the
+  /// primary constructor wires it (Greedy conditions on the transient
+  /// reading); both scheduler and view are restored before returning.
+  void on_batch_as(const cbs::workload::Batch& batch, SchedulerKind kind);
 
   // ---- results & introspection -------------------------------------
 
@@ -96,6 +116,7 @@ class CloudBurstController {
     return probe_blackout_skips_;
   }
   /// The fault generator, or nullptr when faults are disabled.
+  // cbs-lint: snapshot-ok(observer return of the owned unique_ptr, never stored)
   [[nodiscard]] const cbs::sim::FaultPlan* fault_plan() const noexcept {
     return fault_plan_.get();
   }
@@ -115,12 +136,16 @@ class CloudBurstController {
   }
 
  private:
+  void wire_hooks();
   void dispatch_ic();
   void run_on_ic(std::uint64_t seq);
   void on_ic_done(std::uint64_t seq);
   void on_upload_done(std::uint64_t seq, const net::TransferRecord& rec);
+  void on_input_staged(std::uint64_t seq, bool ok);
+  void on_output_staged(std::uint64_t seq, bool ok);
   void start_ec_processing(std::uint64_t seq);
   void on_ec_proc_done(std::uint64_t seq);
+  void on_boot_done(std::uint64_t boot_id);
   void arm_burst_deadline(std::uint64_t seq);
   void disarm_burst_deadline(std::uint64_t seq);
   void on_burst_deadline(std::uint64_t seq);
@@ -178,6 +203,20 @@ class CloudBurstController {
   std::size_t pending_boots_ = 0;  ///< instances spinning up
   std::size_t scale_ups_ = 0;
   std::size_t scale_downs_ = 0;
+
+  // ---- registered dispatch slots (the forkable event paths) ----
+  int store_input_slot_ = -1;   ///< JobStore continuation: input staged
+  int store_output_slot_ = -1;  ///< JobStore continuation: output staged
+  int probe_up_slot_ = -1;      ///< uplink handler for probe transfers
+  int probe_down_slot_ = -1;    ///< downlink handler for probe transfers
+  // ---- controller-owned pending events (restored across forks) ----
+  cbs::sim::EventId probe_event_{};
+  cbs::sim::EventId elastic_event_{};
+  cbs::util::FlatMap<std::uint64_t, cbs::sim::EventId> boot_events_;
+  std::uint64_t next_boot_id_ = 1;
+  /// Lazily created schedulers for on_batch_as(); cloned across forks.
+  std::vector<std::pair<SchedulerKind, std::unique_ptr<Scheduler>>>
+      alt_schedulers_;
 
   // ---- fault layer (absent and cost-free unless configured) ----
   std::unique_ptr<cbs::sim::FaultPlan> fault_plan_;

@@ -14,6 +14,9 @@ class GreedyScheduler final : public Scheduler {
 
   [[nodiscard]] std::vector<ScheduleDecision> schedule_batch(
       std::vector<cbs::workload::Document> docs, Context& ctx) override;
+  [[nodiscard]] std::unique_ptr<Scheduler> clone() const override {
+    return std::make_unique<GreedyScheduler>();
+  }
 };
 
 }  // namespace cbs::core

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "simcore/snapshot.hpp"
 #include "sla/slack.hpp"
 
 namespace cbs::core {
@@ -36,6 +37,36 @@ MultiCloudController::Site::Site(cbs::sim::Simulation& sim,
       std::make_unique<TransferQueueSet>(sim, downlink, down_tuner, 1);
 }
 
+MultiCloudController::Site::Site(cbs::sim::Simulation& dst, const Site& src)
+    : config(src.config),
+      cluster(dst, src.cluster),
+      runtime(dst, src.runtime, cluster),
+      uplink(dst, src.uplink),
+      downlink(dst, src.downlink),
+      store(dst, src.store),
+      uplink_estimator(src.uplink_estimator),
+      downlink_estimator(src.downlink_estimator),
+      up_tuner(src.up_tuner),
+      down_tuner(src.down_tuner),
+      believed_ec_outstanding_seconds(src.believed_ec_outstanding_seconds),
+      believed_upload_backlog_bytes(src.believed_upload_backlog_bytes),
+      bursts(src.bursts) {
+  // Queue sets register their link handlers here, claiming slot 0 of each
+  // link exactly as the primary constructor's order did; the probe
+  // handlers (slot 1) are registered by wire_site_hooks().
+  upload_queue =
+      std::make_unique<TransferQueueSet>(dst, *src.upload_queue, uplink, up_tuner);
+  download_queue = std::make_unique<TransferQueueSet>(dst, *src.download_queue,
+                                                      downlink, down_tuner);
+}
+
+void MultiCloudController::Site::rebuild_events(cbs::sim::SnapshotContext& ctx) {
+  uplink.rebuild_events(ctx);
+  downlink.rebuild_events(ctx);
+  cluster.rebuild_events(ctx);
+  store.rebuild_events(ctx);
+}
+
 MultiCloudController::MultiCloudController(
     cbs::sim::Simulation& sim, MultiCloudConfig config,
     cbs::workload::GroundTruthModel& truth,
@@ -54,17 +85,82 @@ MultiCloudController::MultiCloudController(
     sites_.push_back(std::make_unique<Site>(
         sim, config_.sites[i], config_.bandwidth_estimator,
         config_.thread_tuner, rng.substream(i)));
-    Site& site = *sites_.back();
-    site.upload_queue->set_on_complete(
-        [this, i](std::uint64_t seq, int, const net::TransferRecord& rec) {
-          on_upload_done(i, seq, rec);
-        });
-    site.download_queue->set_on_complete(
-        [this, i](std::uint64_t seq, int, const net::TransferRecord& rec) {
-          on_download_done(i, seq, rec);
-        });
+    wire_site_hooks(i);
   }
   ic_cluster_.set_task_done_hook([this] { dispatch_ic(); });
+  ic_runtime_.set_on_complete(
+      [this](const compute::MapReduceRecord& rec) { on_ic_done(rec.job_id); });
+}
+
+MultiCloudController::MultiCloudController(
+    cbs::sim::Simulation& dst, const MultiCloudController& src,
+    cbs::workload::GroundTruthModel& truth,
+    const cbs::models::ProcessingTimeEstimator& estimator)
+    : sim_(dst),
+      config_(src.config_),
+      truth_(truth),
+      estimator_(estimator),
+      log_("multi-cloud", config_.log_threshold),
+      ic_cluster_(dst, src.ic_cluster_),
+      ic_runtime_(dst, src.ic_runtime_, ic_cluster_),
+      believed_ic_jobs_(src.believed_ic_jobs_),
+      believed_ic_seconds_(src.believed_ic_seconds_),
+      believed_ec_finishes_(src.believed_ec_finishes_),
+      ec_finish_heap_(src.ec_finish_heap_),
+      jobs_(src.jobs_),
+      job_site_(src.job_site_),
+      ic_wait_(src.ic_wait_),
+      outcomes_(src.outcomes_),
+      next_seq_(src.next_seq_),
+      outstanding_(src.outstanding_),
+      probe_scheduled_(src.probe_scheduled_),
+      probe_event_(src.probe_event_) {
+  if (config_.log_sink) log_.set_sink(config_.log_sink);
+  for (std::size_t i = 0; i < src.sites_.size(); ++i) {
+    sites_.push_back(std::make_unique<Site>(dst, *src.sites_[i]));
+    wire_site_hooks(i);
+    assert(sites_[i]->probe_up_slot == src.sites_[i]->probe_up_slot);
+    assert(sites_[i]->probe_down_slot == src.sites_[i]->probe_down_slot);
+  }
+  ic_cluster_.set_task_done_hook([this] { dispatch_ic(); });
+  ic_runtime_.set_on_complete(
+      [this](const compute::MapReduceRecord& rec) { on_ic_done(rec.job_id); });
+}
+
+void MultiCloudController::wire_site_hooks(std::size_t site_idx) {
+  Site& site = *sites_[site_idx];
+  const std::size_t i = site_idx;
+  site.upload_queue->set_on_complete(
+      [this, i](std::uint64_t seq, int, const net::TransferRecord& rec) {
+        on_upload_done(i, seq, rec);
+      });
+  site.download_queue->set_on_complete(
+      [this, i](std::uint64_t seq, int, const net::TransferRecord& rec) {
+        on_download_done(i, seq, rec);
+      });
+  site.runtime.set_on_complete([this, i](const compute::MapReduceRecord& rec) {
+    on_site_proc_done(i, rec.job_id);
+  });
+  site.probe_up_slot = site.uplink.register_handler(
+      [this, i](std::uint64_t, const net::TransferRecord& rec) {
+        Site& s = *sites_[i];
+        s.uplink_estimator.observe(sim_.now(), rec.transfer_rate());
+        s.up_tuner.report(sim_.now(), rec.threads, rec.transfer_rate());
+      });
+  site.probe_down_slot = site.downlink.register_handler(
+      [this, i](std::uint64_t, const net::TransferRecord& rec) {
+        Site& s = *sites_[i];
+        s.downlink_estimator.observe(sim_.now(), rec.transfer_rate());
+        s.down_tuner.report(sim_.now(), rec.threads, rec.transfer_rate());
+      });
+}
+
+void MultiCloudController::rebuild_events(cbs::sim::SnapshotContext& ctx) {
+  ic_cluster_.rebuild_events(ctx);
+  for (auto& site : sites_) site->rebuild_events(ctx);
+  if (probe_scheduled_) {
+    probe_event_ = ctx.restore(probe_event_, [this] { probe(); });
+  }
 }
 
 Job& MultiCloudController::job_at(std::uint64_t seq) {
@@ -232,9 +328,7 @@ void MultiCloudController::dispatch_ic() {
     ic_wait_.pop_front();
     Job& job = job_at(seq);
     job.state = JobState::kIcRunning;
-    ic_runtime_.run(spec_for(job), [this, seq](const compute::MapReduceRecord&) {
-      on_ic_done(seq);
-    });
+    ic_runtime_.run(spec_for(job));
   }
 }
 
@@ -262,9 +356,7 @@ void MultiCloudController::on_upload_done(std::size_t site_idx,
   site.store.put(in_key(seq), rec.bytes);
   compute::MapReduceSpec spec = spec_for(job);
   spec.merge_seconds += site.config.job_overhead_seconds * site.config.speed;
-  site.runtime.run(spec, [this, site_idx, seq](const compute::MapReduceRecord&) {
-    on_site_proc_done(site_idx, seq);
-  });
+  site.runtime.run(spec);
 }
 
 void MultiCloudController::on_site_proc_done(std::size_t site_idx,
@@ -303,30 +395,20 @@ void MultiCloudController::finish_job(Job& job) {
 void MultiCloudController::ensure_probing() {
   if (probe_scheduled_ || config_.probe_interval <= 0.0) return;
   probe_scheduled_ = true;
-  sim_.schedule_in(config_.probe_interval, [this] { probe(); });
+  probe_event_ = sim_.schedule_in(config_.probe_interval, [this] { probe(); });
 }
 
 void MultiCloudController::probe() {
   probe_scheduled_ = false;
+  probe_event_ = cbs::sim::EventId{};
   if (outstanding_ == 0) return;
   for (auto& site_ptr : sites_) {
     Site& site = *site_ptr;
     const int up_threads = site.up_tuner.suggest(sim_.now());
-    site.uplink.submit(config_.probe_bytes, up_threads,
-                       [this, &site](const net::TransferRecord& rec) {
-                         site.uplink_estimator.observe(sim_.now(),
-                                                       rec.transfer_rate());
-                         site.up_tuner.report(sim_.now(), rec.threads,
-                                              rec.transfer_rate());
-                       });
+    site.uplink.submit(config_.probe_bytes, up_threads, site.probe_up_slot, 0);
     const int down_threads = site.down_tuner.suggest(sim_.now());
     site.downlink.submit(config_.probe_bytes, down_threads,
-                         [this, &site](const net::TransferRecord& rec) {
-                           site.downlink_estimator.observe(sim_.now(),
-                                                           rec.transfer_rate());
-                           site.down_tuner.report(sim_.now(), rec.threads,
-                                                  rec.transfer_rate());
-                         });
+                         site.probe_down_slot, 0);
   }
   ensure_probing();
 }

@@ -93,6 +93,17 @@ class MultiCloudController {
   MultiCloudController(const MultiCloudController&) = delete;
   MultiCloudController& operator=(const MultiCloudController&) = delete;
 
+  /// Fork support: deep-copies `src` into a controller bound to the (empty)
+  /// engine `dst`, the fork's ground-truth model and estimator. Call
+  /// rebuild_events() afterwards, then SnapshotContext::finish().
+  MultiCloudController(cbs::sim::Simulation& dst,
+                       const MultiCloudController& src,
+                       cbs::workload::GroundTruthModel& truth,
+                       const cbs::models::ProcessingTimeEstimator& estimator);
+
+  /// Re-schedules all pending events owned by this controller after a fork.
+  void rebuild_events(cbs::sim::SnapshotContext& ctx);
+
   void on_batch(const cbs::workload::Batch& batch);
 
   [[nodiscard]] const std::vector<cbs::sla::JobOutcome>& outcomes() const noexcept {
@@ -119,6 +130,12 @@ class MultiCloudController {
                   const cbs::net::ThreadTuner::Config& tuner_cfg,
                   cbs::sim::RngStream rng);
 
+    /// Fork support: value-clones the whole substrate bound to `dst`.
+    Site(cbs::sim::Simulation& dst, const Site& src);
+
+    /// Re-schedules this site's pending events after a fork.
+    void rebuild_events(cbs::sim::SnapshotContext& ctx);
+
     EcSiteConfig config;
     compute::Cluster cluster;
     compute::MapReduceRuntime runtime;
@@ -131,6 +148,8 @@ class MultiCloudController {
     net::ThreadTuner down_tuner;
     std::unique_ptr<TransferQueueSet> upload_queue;
     std::unique_ptr<TransferQueueSet> download_queue;
+    int probe_up_slot = -1;    ///< registered probe handler on uplink
+    int probe_down_slot = -1;  ///< registered probe handler on downlink
 
     // Belief about this site (scheduler-visible state only).
     double believed_ec_outstanding_seconds = 0.0;
@@ -164,6 +183,7 @@ class MultiCloudController {
   void finish_job(Job& job);
   void ensure_probing();
   void probe();
+  void wire_site_hooks(std::size_t site_idx);
   [[nodiscard]] Job& job_at(std::uint64_t seq);
   [[nodiscard]] compute::MapReduceSpec spec_for(const Job& job) const;
 
@@ -194,6 +214,7 @@ class MultiCloudController {
   std::uint64_t next_seq_ = 1;
   std::size_t outstanding_ = 0;
   bool probe_scheduled_ = false;
+  cbs::sim::EventId probe_event_{};  ///< restored across forks
 };
 
 }  // namespace cbs::core

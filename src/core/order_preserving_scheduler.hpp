@@ -24,6 +24,9 @@ class OrderPreservingScheduler : public Scheduler {
 
   [[nodiscard]] std::vector<ScheduleDecision> schedule_batch(
       std::vector<cbs::workload::Document> docs, Context& ctx) override;
+  [[nodiscard]] std::unique_ptr<Scheduler> clone() const override {
+    return std::make_unique<OrderPreservingScheduler>();
+  }
 
  protected:
   /// Placement for one job once chunking is settled; the bandwidth-split

@@ -72,6 +72,11 @@ std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind) {
       return std::make_unique<BandwidthSplitScheduler>();
     case SchedulerKind::kRandom:
       return std::make_unique<RandomScheduler>();
+    case SchedulerKind::kLookahead:
+      // Inside the controller, lookahead falls back to order-preserving
+      // placement; the actual per-batch candidate selection lives in the
+      // harness LookaheadController, which forks the world instead.
+      return std::make_unique<OrderPreservingScheduler>();
   }
   assert(false && "unknown scheduler kind");
   return nullptr;

@@ -60,6 +60,14 @@ class Scheduler {
   /// Decides placement for every document of the batch, in arrival order.
   [[nodiscard]] virtual std::vector<ScheduleDecision> schedule_batch(
       std::vector<cbs::workload::Document> docs, Context& ctx) = 0;
+
+  /// Fork support: deep-copies the scheduler (including any per-run state,
+  /// e.g. RandomScheduler's RNG position or BandwidthSplit's bounds).
+  /// Returns nullptr when the concrete type does not support forking
+  /// (ad-hoc test schedulers keep the default).
+  [[nodiscard]] virtual std::unique_ptr<Scheduler> clone() const {
+    return nullptr;
+  }
 };
 
 /// Baseline: everything runs internally (the paper's "ICOnly" scheduler).
@@ -68,6 +76,9 @@ class IcOnlyScheduler final : public Scheduler {
   [[nodiscard]] std::string_view name() const override { return "ic-only"; }
   [[nodiscard]] std::vector<ScheduleDecision> schedule_batch(
       std::vector<cbs::workload::Document> docs, Context& ctx) override;
+  [[nodiscard]] std::unique_ptr<Scheduler> clone() const override {
+    return std::make_unique<IcOnlyScheduler>();
+  }
 };
 
 /// Model-free baseline: bursts each job with a fixed probability,
@@ -79,6 +90,11 @@ class RandomScheduler final : public Scheduler {
   [[nodiscard]] std::string_view name() const override { return "random"; }
   [[nodiscard]] std::vector<ScheduleDecision> schedule_batch(
       std::vector<cbs::workload::Document> docs, Context& ctx) override;
+  [[nodiscard]] std::unique_ptr<Scheduler> clone() const override {
+    auto out = std::make_unique<RandomScheduler>();
+    if (rng_) out->rng_ = std::make_unique<cbs::sim::RngStream>(*rng_);
+    return out;
+  }
 
  private:
   std::unique_ptr<cbs::sim::RngStream> rng_;  ///< lazily seeded from params

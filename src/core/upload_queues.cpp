@@ -16,6 +16,30 @@ TransferQueueSet::TransferQueueSet(cbs::sim::Simulation& sim,
   slots_.assign(static_cast<std::size_t>(num_classes),
                 std::vector<Slot>(static_cast<std::size_t>(slots_per_class)));
   active_bytes_per_class_.assign(static_cast<std::size_t>(num_classes), 0.0);
+  link_slot_ = link_.register_handler(
+      [this](std::uint64_t tag, const cbs::net::TransferRecord& rec) {
+        on_link_complete(tag, rec);
+      });
+}
+
+TransferQueueSet::TransferQueueSet(cbs::sim::Simulation& dst,
+                                   const TransferQueueSet& src,
+                                   cbs::net::Link& link,
+                                   cbs::net::ThreadTuner& tuner)
+    : sim_(dst),
+      link_(link),
+      tuner_(tuner),
+      queues_(src.queues_),
+      slots_(src.slots_),
+      active_(src.active_),
+      active_count_(src.active_count_),
+      active_bytes_per_class_(src.active_bytes_per_class_) {
+  link_slot_ = link_.register_handler(
+      [this](std::uint64_t tag, const cbs::net::TransferRecord& rec) {
+        on_link_complete(tag, rec);
+      });
+  assert(link_slot_ == src.link_slot_ &&
+         "handler registration order must match the source link");
 }
 
 void TransferQueueSet::enqueue(std::uint64_t tag, double bytes, int klass) {
@@ -81,22 +105,24 @@ void TransferQueueSet::pump() {
 
       const int threads = tuner_.suggest(sim_.now());
       const std::uint64_t tag = item.tag;
-      const cbs::net::TransferId id = link_.submit(
-          item.bytes, threads,
-          [this, tag](const cbs::net::TransferRecord& rec) {
-            auto it = active_.find(tag);
-            assert(it != active_.end());
-            const ActiveItem done = it->second;
-            active_.erase(it);
-            release_slot(done);
-            // Serve the freed slot before notifying, so the pipe never
-            // idles across the callback.
-            pump();
-            if (on_complete_) on_complete_(done.item.tag, done.item.klass, rec);
-          });
+      const cbs::net::TransferId id =
+          link_.submit(item.bytes, threads, link_slot_, tag);
       active_.emplace(tag, ActiveItem{item, klass, s, id});
     }
   }
+}
+
+void TransferQueueSet::on_link_complete(std::uint64_t tag,
+                                        const cbs::net::TransferRecord& rec) {
+  auto it = active_.find(tag);
+  assert(it != active_.end());
+  const ActiveItem done = it->second;
+  active_.erase(it);
+  release_slot(done);
+  // Serve the freed slot before notifying, so the pipe never idles across
+  // the callback.
+  pump();
+  if (on_complete_) on_complete_(done.item.tag, done.item.klass, rec);
 }
 
 std::vector<double> TransferQueueSet::backlog_bytes_per_class() const {

@@ -35,6 +35,15 @@ class TransferQueueSet {
   TransferQueueSet(const TransferQueueSet&) = delete;
   TransferQueueSet& operator=(const TransferQueueSet&) = delete;
 
+  /// Fork support: copies `src`'s queues and active bookkeeping into a set
+  /// bound to the forked `link`/`tuner`. Registers its completion handler
+  /// on `link` — construction order relative to other handler owners must
+  /// match the source link so slot indices line up. The set-once
+  /// on_complete_ hook is NOT copied; the owner re-registers it. The set
+  /// schedules no events of its own (the link owns the transfer events).
+  TransferQueueSet(cbs::sim::Simulation& dst, const TransferQueueSet& src,
+                   cbs::net::Link& link, cbs::net::ThreadTuner& tuner);
+
   void set_on_complete(CompletionHandler handler) {
     on_complete_ = std::move(handler);
   }
@@ -87,6 +96,7 @@ class TransferQueueSet {
 
   void pump();
   void release_slot(const ActiveItem& active);
+  void on_link_complete(std::uint64_t tag, const cbs::net::TransferRecord& rec);
   [[nodiscard]] int pick_queue_for_class(int klass) const;
 
   cbs::sim::Simulation& sim_;
@@ -100,6 +110,7 @@ class TransferQueueSet {
   std::size_t active_count_ = 0;
   std::vector<double> active_bytes_per_class_;
   CompletionHandler on_complete_;
+  int link_slot_ = -1;  ///< registered handler slot on link_
 };
 
 }  // namespace cbs::core

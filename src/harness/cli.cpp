@@ -82,6 +82,7 @@ cbs::core::SchedulerKind parse_scheduler(const std::string& name) {
     return SchedulerKind::kBandwidthSplit;
   }
   if (name == "random") return SchedulerKind::kRandom;
+  if (name == "lookahead") return SchedulerKind::kLookahead;
   throw std::runtime_error("unknown scheduler: " + name);
 }
 
@@ -101,6 +102,8 @@ const std::vector<std::string>& scenario_flags() {
       "seeds",     "threads",
       // Fault layer (simcore/fault_plan.hpp knobs).
       "ic-mtbf",   "ec-mtbf",     "vm-recovery", "retraction-factor",
+      // Model-predictive lookahead (harness/world.hpp).
+      "horizon",   "candidates",
   };
   return flags;
 }
@@ -145,6 +148,11 @@ Scenario scenario_from_args(const Args& args) {
       args.get_double_or("vm-recovery", s.faults.vm_recovery_seconds);
   s.faults.retraction_deadline_factor =
       args.get_double_or("retraction-factor", 0.0);
+
+  s.lookahead_horizon_seconds =
+      args.get_double_or("horizon", s.lookahead_horizon_seconds);
+  s.lookahead_candidates = static_cast<int>(
+      args.get_long_or("candidates", s.lookahead_candidates));
   return s;
 }
 

@@ -39,7 +39,7 @@ class Args {
 };
 
 /// Parses a scheduler name ("ic-only", "greedy", "order-preserving",
-/// "op-bandwidth-split"); throws on anything else.
+/// "op-bandwidth-split", "random", "lookahead"); throws on anything else.
 [[nodiscard]] cbs::core::SchedulerKind parse_scheduler(const std::string& name);
 
 /// Parses a bucket name ("small", "uniform", "large"); throws otherwise.
@@ -49,6 +49,7 @@ class Args {
 ///   --scheduler --bucket --seed --batches --lambda --interval --high-var
 ///   --rescheduler --elastic --estimator (qrsm|oracle|per-class)
 ///   --tolerance --oo-interval --noise
+///   --horizon --candidates (model-predictive lookahead, harness/world.hpp)
 [[nodiscard]] Scenario scenario_from_args(const Args& args);
 
 /// The flag set scenario_from_args understands (for constructing Args).

@@ -1,137 +1,13 @@
 #include "harness/experiment.hpp"
 
-#include <cmath>
-#include <stdexcept>
-
-#include "core/controller.hpp"
-#include "models/estimator.hpp"
-#include "simcore/rng.hpp"
-#include "simcore/simulation.hpp"
-#include "workload/arrival.hpp"
+#include "harness/world.hpp"
 
 namespace cbs::harness {
 
-namespace {
-
-/// The "standard set of production data observed across a variety of
-/// locations" (§III.A.1): a uniform corpus, labeled by actually observed
-/// (noisy) runtimes.
-void pretrain_controller(cbs::core::CloudBurstController& controller,
-                         cbs::workload::GroundTruthModel& truth,
-                         std::size_t samples, cbs::sim::RngStream rng) {
-  if (samples == 0) return;
-  cbs::workload::WorkloadGenerator::Config gen_cfg;
-  gen_cfg.bucket = cbs::workload::SizeBucket::kUniform;
-  cbs::workload::WorkloadGenerator corpus_gen(gen_cfg, truth,
-                                              rng.substream("corpus"));
-  std::vector<cbs::workload::Document> docs = corpus_gen.batch(samples);
-  std::vector<double> runtimes;
-  runtimes.reserve(docs.size());
-  for (const auto& d : docs) runtimes.push_back(truth.sample_seconds(d.features));
-  controller.pretrain(docs, runtimes);
-}
-
-}  // namespace
-
 RunResult run_scenario(const Scenario& scenario) {
-  cbs::sim::Simulation sim;
-  cbs::sim::RngStream root(scenario.seed);
-
-  cbs::workload::GroundTruthModel truth(scenario.truth, root.substream("truth"));
-
-  cbs::workload::WorkloadGenerator::Config gen_cfg;
-  gen_cfg.bucket = scenario.bucket;
-  cbs::workload::WorkloadGenerator generator(gen_cfg, truth,
-                                             root.substream("workload"));
-
-  cbs::core::CloudBurstController controller(sim, scenario.controller_config(),
-                                             truth, root.substream("system"));
-  pretrain_controller(controller, truth, scenario.pretrain_samples,
-                      root.substream("pretrain"));
-
-  cbs::workload::BatchArrivalProcess::Config arr_cfg;
-  arr_cfg.batch_interval = scenario.batch_interval_seconds;
-  arr_cfg.mean_jobs_per_batch = scenario.mean_jobs_per_batch;
-  arr_cfg.num_batches = scenario.num_batches;
-  cbs::workload::BatchArrivalProcess arrivals(arr_cfg, generator,
-                                              root.substream("arrivals"));
-  arrivals.schedule_on(sim, [&controller](const cbs::workload::Batch& batch) {
-    controller.on_batch(batch);
-  });
-
-  sim.run();
-
-  if (controller.outstanding_jobs() != 0) {
-    throw std::runtime_error("run_scenario: simulation drained with " +
-                             std::to_string(controller.outstanding_jobs()) +
-                             " jobs outstanding");
-  }
-  const std::string violation =
-      cbs::sla::validate_outcomes(controller.outcomes());
-  if (!violation.empty()) {
-    throw std::runtime_error("run_scenario: outcome invariants violated: " +
-                             violation);
-  }
-
-  RunResult result;
-  result.scenario = scenario;
-  result.outcomes = controller.outcomes();
-  result.sim_end_time = sim.now();
-  result.events_processed = static_cast<std::size_t>(sim.events_processed());
-  result.pull_backs = controller.pull_backs();
-  result.push_outs = controller.push_outs();
-  result.peak_store_bytes = controller.store().peak_occupancy_bytes();
-
-  result.faults.ic_crashes = controller.ic_cluster().crashes();
-  result.faults.ec_crashes = controller.ec_cluster().crashes();
-  result.faults.reexecutions = controller.ic_cluster().reexecutions() +
-                               controller.ec_cluster().reexecutions();
-  result.faults.wasted_compute_seconds =
-      controller.ic_cluster().wasted_standard_seconds() +
-      controller.ec_cluster().wasted_standard_seconds();
-  result.faults.link_outage_aborts =
-      controller.uplink().outage_aborts() + controller.downlink().outage_aborts();
-  result.faults.link_drops = controller.uplink().injected_failures() +
-                             controller.downlink().injected_failures();
-  result.faults.wasted_transfer_bytes =
-      controller.uplink().wasted_bytes() + controller.downlink().wasted_bytes();
-  result.faults.retractions = controller.retractions();
-  result.faults.store_retries = controller.store().failed_attempts();
-  result.faults.store_abandoned = controller.store().abandoned_ops();
-  result.faults.probe_blackout_skips = controller.probe_blackout_skips();
-  if (const auto* plan = controller.fault_plan()) {
-    result.faults.crashes_injected = plan->crashes_injected();
-    result.faults.outages = plan->outages_started();
-  }
-
-  result.report = cbs::sla::build_report(
-      std::string(cbs::core::to_string(scenario.scheduler)),
-      std::string(cbs::workload::to_string(scenario.bucket)), result.outcomes,
-      controller.ic_cluster().total_busy_time(),
-      controller.ic_cluster().machine_count(),
-      controller.ec_cluster().total_busy_time(),
-      controller.ec_cluster().machine_count(), scenario.oo_sampling_interval,
-      scenario.oo_tolerance);
-
-  cbs::sla::OoMetricCalculator oo(result.outcomes);
-  result.oo_series =
-      oo.ordered_mb_series(scenario.oo_sampling_interval, scenario.oo_tolerance);
-
-  result.tickets =
-      cbs::sla::evaluate_tickets(result.outcomes, scenario.ticket_policy);
-  result.cost =
-      cbs::sla::compute_cost(controller.cost_inputs(), scenario.cost_rates);
-
-  if (const auto* qrsm = dynamic_cast<const cbs::models::QrsmEstimator*>(
-          &controller.service_estimator());
-      qrsm != nullptr && qrsm->model().last_fit()) {
-    result.qrsm_r_squared = qrsm->model().last_fit()->r_squared;
-    result.qrsm_mape = qrsm->model().last_fit()->mape;
-  } else {
-    result.qrsm_r_squared = std::nan("");
-    result.qrsm_mape = std::nan("");
-  }
-  return result;
+  ScenarioWorld world(scenario);
+  world.run();
+  return world.result();
 }
 
 std::vector<RunResult> run_comparison(

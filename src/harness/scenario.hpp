@@ -43,6 +43,15 @@ struct Scenario {
   // QRSM factory prior: corpus size used for pretraining (0 disables).
   std::size_t pretrain_samples = 120;
 
+  // Model-predictive lookahead (scheduler == kLookahead): at every batch
+  // arrival the world is forked once per candidate policy, each fork is
+  // rolled `lookahead_horizon_seconds` forward, and the batch is committed
+  // under the best-scoring candidate. The candidate list is a fixed
+  // priority order (order-preserving, greedy, ic-only, bandwidth-split,
+  // random) truncated to `lookahead_candidates`.
+  double lookahead_horizon_seconds = 900.0;
+  int lookahead_candidates = 3;
+
   // OO metric parameters (§V.B.2: 2-minute sampling; Fig. 10: t_l = 4).
   double oo_sampling_interval = 120.0;
   std::uint64_t oo_tolerance = 4;

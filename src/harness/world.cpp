@@ -1,0 +1,296 @@
+#include "harness/world.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "models/estimator.hpp"
+#include "simcore/rng.hpp"
+#include "simcore/snapshot.hpp"
+#include "sla/cost.hpp"
+#include "sla/oo_metric.hpp"
+#include "sla/report.hpp"
+#include "sla/tickets.hpp"
+#include "workload/generator.hpp"
+
+namespace cbs::harness {
+
+namespace {
+
+/// The "standard set of production data observed across a variety of
+/// locations" (§III.A.1): a uniform corpus, labeled by actually observed
+/// (noisy) runtimes.
+void pretrain_controller(cbs::core::CloudBurstController& controller,
+                         cbs::workload::GroundTruthModel& truth,
+                         std::size_t samples, cbs::sim::RngStream rng) {
+  if (samples == 0) return;
+  cbs::workload::WorkloadGenerator::Config gen_cfg;
+  gen_cfg.bucket = cbs::workload::SizeBucket::kUniform;
+  cbs::workload::WorkloadGenerator corpus_gen(gen_cfg, truth,
+                                              rng.substream("corpus"));
+  std::vector<cbs::workload::Document> docs = corpus_gen.batch(samples);
+  std::vector<double> runtimes;
+  runtimes.reserve(docs.size());
+  for (const auto& d : docs) runtimes.push_back(truth.sample_seconds(d.features));
+  controller.pretrain(docs, runtimes);
+}
+
+/// The OO metric's o_t (paper Eq. 5–6) evaluated on a *partial* outcome
+/// set (a mid-horizon rollout has gaps in the seq-id space, which
+/// OoMetricCalculator rejects): the cumulative output MB of completed jobs
+/// with id <= m, where m is the largest id with at most `tolerance`
+/// missing jobs below it.
+double ordered_output_mb(const std::vector<cbs::sla::JobOutcome>& outcomes,
+                         std::uint64_t tolerance) {
+  if (outcomes.empty()) return 0.0;
+  std::uint64_t max_id = 0;
+  for (const auto& o : outcomes) max_id = std::max(max_id, o.seq_id);
+  std::vector<double> output_by_id(max_id + 1, -1.0);  // -1 = missing
+  for (const auto& o : outcomes) output_by_id[o.seq_id] = o.output_mb;
+  double ordered = 0.0;
+  double running = 0.0;
+  std::uint64_t missing = 0;
+  for (std::uint64_t id = 1; id <= max_id; ++id) {
+    if (output_by_id[id] < 0.0) {
+      if (++missing > tolerance) break;
+      continue;
+    }
+    running += output_by_id[id];
+    ordered = running;
+  }
+  return ordered;
+}
+
+}  // namespace
+
+ScenarioWorld::ScenarioWorld(const Scenario& scenario)
+    : scenario_(scenario),
+      truth_(scenario.truth,
+             cbs::sim::RngStream(scenario.seed).substream("truth")) {
+  // The build order below mirrors the historical run_scenario body line by
+  // line (substream derivation is a pure function of (parent, name), so
+  // the local root here draws identically to the original's).
+  cbs::sim::RngStream root(scenario.seed);
+
+  cbs::workload::WorkloadGenerator::Config gen_cfg;
+  gen_cfg.bucket = scenario.bucket;
+  cbs::workload::WorkloadGenerator generator(gen_cfg, truth_,
+                                             root.substream("workload"));
+
+  controller_ = std::make_unique<cbs::core::CloudBurstController>(
+      sim_, scenario.controller_config(), truth_, root.substream("system"));
+  pretrain_controller(*controller_, truth_, scenario.pretrain_samples,
+                      root.substream("pretrain"));
+
+  cbs::workload::BatchArrivalProcess::Config arr_cfg;
+  arr_cfg.batch_interval = scenario.batch_interval_seconds;
+  arr_cfg.mean_jobs_per_batch = scenario.mean_jobs_per_batch;
+  arr_cfg.num_batches = scenario.num_batches;
+  cbs::workload::BatchArrivalProcess arrivals(arr_cfg, generator,
+                                              root.substream("arrivals"));
+  batches_ = arrivals.generate_all();
+
+  batch_events_.reserve(batches_.size());
+  for (std::size_t i = 0; i < batches_.size(); ++i) {
+    batch_events_.push_back(sim_.schedule_at(
+        batches_[i].arrival_time, [this, i] { deliver_batch(i); }));
+  }
+}
+
+ScenarioWorld::ScenarioWorld(const ScenarioWorld& src)
+    : scenario_(src.scenario_),
+      truth_(src.truth_),
+      batches_(src.batches_),
+      batch_events_(src.batch_events_),
+      rollout_(src.rollout_),
+      rollout_kind_(src.rollout_kind_),
+      lookahead_choices_(src.lookahead_choices_) {
+  cbs::sim::SnapshotContext ctx(src.sim_, sim_);
+  controller_ = std::make_unique<cbs::core::CloudBurstController>(
+      sim_, *src.controller_, truth_);
+  for (std::size_t i = 0; i < batch_events_.size(); ++i) {
+    batch_events_[i] =
+        ctx.restore(batch_events_[i], [this, i] { deliver_batch(i); });
+  }
+  controller_->rebuild_events(ctx);
+  const std::size_t orphaned = ctx.finish();
+  if (orphaned != 0) {
+    throw std::runtime_error(
+        "ScenarioWorld fork left " + std::to_string(orphaned) +
+        " pending event(s) unclaimed (missing rebuild_events coverage)");
+  }
+}
+
+cbs::sim::SimTime ScenarioWorld::run() { return sim_.run(); }
+
+cbs::sim::SimTime ScenarioWorld::run_until(cbs::sim::SimTime deadline) {
+  return sim_.run_until(deadline);
+}
+
+void ScenarioWorld::deliver_batch(std::size_t index) {
+  batch_events_[index] = cbs::sim::EventId{};  // fired: inert across forks
+  const cbs::workload::Batch& batch = batches_[index];
+  if (rollout_) {
+    // Inside a candidate rollout the policy under evaluation persists for
+    // every in-horizon arrival; no nested lookahead.
+    controller_->on_batch_as(batch, rollout_kind_);
+    return;
+  }
+  if (scenario_.scheduler == cbs::core::SchedulerKind::kLookahead) {
+    LookaheadController::Config cfg;
+    cfg.horizon_seconds = scenario_.lookahead_horizon_seconds;
+    cfg.candidates = scenario_.lookahead_candidates;
+    const LookaheadController lookahead(cfg);
+    const LookaheadController::Decision decision = lookahead.decide(*this, batch);
+    lookahead_choices_.push_back(decision.kind);
+    controller_->on_batch_as(batch, decision.kind);
+    return;
+  }
+  controller_->on_batch(batch);
+}
+
+RunResult ScenarioWorld::result() const {
+  if (controller_->outstanding_jobs() != 0) {
+    throw std::runtime_error("run_scenario: simulation drained with " +
+                             std::to_string(controller_->outstanding_jobs()) +
+                             " jobs outstanding");
+  }
+  const std::string violation =
+      cbs::sla::validate_outcomes(controller_->outcomes());
+  if (!violation.empty()) {
+    throw std::runtime_error("run_scenario: outcome invariants violated: " +
+                             violation);
+  }
+  const cbs::core::CloudBurstController& controller = *controller_;
+
+  RunResult result;
+  result.scenario = scenario_;
+  result.outcomes = controller.outcomes();
+  result.sim_end_time = sim_.now();
+  result.events_processed = static_cast<std::size_t>(sim_.events_processed());
+  result.pull_backs = controller.pull_backs();
+  result.push_outs = controller.push_outs();
+  result.peak_store_bytes = controller.store().peak_occupancy_bytes();
+
+  result.faults.ic_crashes = controller.ic_cluster().crashes();
+  result.faults.ec_crashes = controller.ec_cluster().crashes();
+  result.faults.reexecutions = controller.ic_cluster().reexecutions() +
+                               controller.ec_cluster().reexecutions();
+  result.faults.wasted_compute_seconds =
+      controller.ic_cluster().wasted_standard_seconds() +
+      controller.ec_cluster().wasted_standard_seconds();
+  result.faults.link_outage_aborts =
+      controller.uplink().outage_aborts() + controller.downlink().outage_aborts();
+  result.faults.link_drops = controller.uplink().injected_failures() +
+                             controller.downlink().injected_failures();
+  result.faults.wasted_transfer_bytes =
+      controller.uplink().wasted_bytes() + controller.downlink().wasted_bytes();
+  result.faults.retractions = controller.retractions();
+  result.faults.store_retries = controller.store().failed_attempts();
+  result.faults.store_abandoned = controller.store().abandoned_ops();
+  result.faults.probe_blackout_skips = controller.probe_blackout_skips();
+  if (const auto* plan = controller.fault_plan()) {
+    result.faults.crashes_injected = plan->crashes_injected();
+    result.faults.outages = plan->outages_started();
+  }
+
+  result.report = cbs::sla::build_report(
+      std::string(cbs::core::to_string(scenario_.scheduler)),
+      std::string(cbs::workload::to_string(scenario_.bucket)), result.outcomes,
+      controller.ic_cluster().total_busy_time(),
+      controller.ic_cluster().machine_count(),
+      controller.ec_cluster().total_busy_time(),
+      controller.ec_cluster().machine_count(), scenario_.oo_sampling_interval,
+      scenario_.oo_tolerance);
+
+  cbs::sla::OoMetricCalculator oo(result.outcomes);
+  result.oo_series =
+      oo.ordered_mb_series(scenario_.oo_sampling_interval, scenario_.oo_tolerance);
+
+  result.tickets =
+      cbs::sla::evaluate_tickets(result.outcomes, scenario_.ticket_policy);
+  result.cost =
+      cbs::sla::compute_cost(controller.cost_inputs(), scenario_.cost_rates);
+
+  if (const auto* qrsm = dynamic_cast<const cbs::models::QrsmEstimator*>(
+          &controller.service_estimator());
+      qrsm != nullptr && qrsm->model().last_fit()) {
+    result.qrsm_r_squared = qrsm->model().last_fit()->r_squared;
+    result.qrsm_mape = qrsm->model().last_fit()->mape;
+  } else {
+    result.qrsm_r_squared = std::nan("");
+    result.qrsm_mape = std::nan("");
+  }
+  return result;
+}
+
+const std::vector<cbs::core::SchedulerKind>&
+LookaheadController::candidate_order() {
+  static const std::vector<cbs::core::SchedulerKind> kOrder = {
+      cbs::core::SchedulerKind::kOrderPreserving,
+      cbs::core::SchedulerKind::kGreedy,
+      cbs::core::SchedulerKind::kIcOnly,
+      cbs::core::SchedulerKind::kBandwidthSplit,
+      cbs::core::SchedulerKind::kRandom,
+  };
+  return kOrder;
+}
+
+LookaheadController::Decision LookaheadController::decide(
+    const ScenarioWorld& parent, const cbs::workload::Batch& batch) const {
+  const auto& order = candidate_order();
+  const std::size_t count = std::min(
+      order.size(),
+      static_cast<std::size_t>(std::max(1, config_.candidates)));
+
+  Decision decision;
+  decision.scores.reserve(count);
+  for (std::size_t c = 0; c < count; ++c) {
+    const cbs::core::SchedulerKind kind = order[c];
+    std::unique_ptr<ScenarioWorld> rollout = parent.fork();
+    rollout->begin_rollout(kind);
+    // The decision point's arrival event has already fired in the parent,
+    // so the fork never sees it — inject the batch by hand.
+    rollout->inject_batch_as(batch, kind);
+    rollout->run_until(parent.now() + config_.horizon_seconds);
+    const double score = score_world(*rollout);
+    decision.scores.emplace_back(kind, score);
+    if (c == 0 || score < decision.score) {
+      decision.kind = kind;
+      decision.score = score;
+    }
+  }
+  return decision;
+}
+
+double LookaheadController::score_world(const ScenarioWorld& world) const {
+  const auto& outcomes = world.controller().outcomes();
+  const cbs::sla::TicketPolicy& policy = world.scenario().ticket_policy;
+  double lateness = 0.0;
+  for (const auto& o : outcomes) {
+    lateness += std::max(0.0, o.completed - policy.deadline_for(o));
+  }
+  const double unfinished =
+      config_.unfinished_penalty_seconds *
+      static_cast<double>(world.controller().outstanding_jobs());
+  const cbs::sla::CostReport cost = cbs::sla::compute_cost(
+      world.controller().cost_inputs(), world.scenario().cost_rates);
+  const double oo =
+      ordered_output_mb(outcomes, world.scenario().oo_tolerance);
+  return lateness + unfinished + config_.seconds_per_dollar * cost.cloud_total() -
+         config_.oo_weight_seconds_per_mb * oo;
+}
+
+RunResult run_scenario_via_fork(const Scenario& scenario,
+                                cbs::sim::SimTime fork_time) {
+  ScenarioWorld parent(scenario);
+  // fork_time 0 means a pristine fork: run_until(0) would already fire the
+  // t=0 batch (events at exactly the deadline fire), so skip it.
+  if (fork_time > 0.0) parent.run_until(fork_time);
+  std::unique_ptr<ScenarioWorld> resumed = parent.fork();
+  resumed->run();
+  return resumed->result();
+}
+
+}  // namespace cbs::harness

@@ -25,6 +25,17 @@ class ProcessingTimeEstimator {
     (void)doc;
     (void)actual_seconds;
   }
+
+  /// Fork support: deep-copies the estimator's learned state. `truth` is
+  /// the fork's ground-truth model, used only by truth-referencing
+  /// estimators (OracleEstimator) to rebind their reference. Returns
+  /// nullptr when the concrete type does not support forking (ad-hoc test
+  /// estimators keep the default).
+  [[nodiscard]] virtual std::unique_ptr<ProcessingTimeEstimator> clone(
+      const cbs::workload::GroundTruthModel& truth) const {
+    (void)truth;
+    return nullptr;
+  }
 };
 
 /// Production estimator: wraps the QRSM and learns online.
@@ -35,6 +46,12 @@ class QrsmEstimator final : public ProcessingTimeEstimator {
   [[nodiscard]] double estimate_seconds(
       const cbs::workload::Document& doc) const override;
   void observe(const cbs::workload::Document& doc, double actual_seconds) override;
+
+  [[nodiscard]] std::unique_ptr<ProcessingTimeEstimator> clone(
+      const cbs::workload::GroundTruthModel& truth) const override {
+    (void)truth;
+    return std::make_unique<QrsmEstimator>(*this);
+  }
 
   [[nodiscard]] QrsmModel& model() noexcept { return model_; }
   [[nodiscard]] const QrsmModel& model() const noexcept { return model_; }
@@ -56,6 +73,11 @@ class OracleEstimator final : public ProcessingTimeEstimator {
     return truth_.expected_seconds(doc.features);
   }
 
+  [[nodiscard]] std::unique_ptr<ProcessingTimeEstimator> clone(
+      const cbs::workload::GroundTruthModel& truth) const override {
+    return std::make_unique<OracleEstimator>(truth);
+  }
+
  private:
   const cbs::workload::GroundTruthModel& truth_;
 };
@@ -73,6 +95,13 @@ class BiasedEstimator final : public ProcessingTimeEstimator {
   }
   void observe(const cbs::workload::Document& doc, double actual_seconds) override {
     inner_->observe(doc, actual_seconds);
+  }
+
+  [[nodiscard]] std::unique_ptr<ProcessingTimeEstimator> clone(
+      const cbs::workload::GroundTruthModel& truth) const override {
+    auto inner = inner_->clone(truth);
+    if (!inner) return nullptr;
+    return std::make_unique<BiasedEstimator>(std::move(inner), factor_);
   }
 
  private:

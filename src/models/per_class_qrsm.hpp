@@ -35,6 +35,12 @@ class PerClassQrsmEstimator final : public ProcessingTimeEstimator {
   void observe(const cbs::workload::Document& doc,
                double actual_seconds) override;
 
+  [[nodiscard]] std::unique_ptr<ProcessingTimeEstimator> clone(
+      const cbs::workload::GroundTruthModel& truth) const override {
+    (void)truth;
+    return std::make_unique<PerClassQrsmEstimator>(*this);
+  }
+
   /// Seeds the pooled model (and routes each example into its class model).
   void pretrain(const std::vector<cbs::workload::Document>& docs,
                 const std::vector<double>& runtimes);

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <utility>
+
+#include "simcore/snapshot.hpp"
 
 namespace cbs::net {
 
@@ -29,16 +32,75 @@ double Link::true_capacity_now() {
   return std::max(raw, config_.base_rate * config_.min_capacity_fraction);
 }
 
+Link::Link(cbs::sim::Simulation& dst, const Link& src)
+    : sim_(dst),
+      config_(src.config_),
+      noise_(src.noise_),
+      failure_rng_(src.failure_rng_),
+      injected_failures_(src.injected_failures_),
+      outage_aborts_(src.outage_aborts_),
+      wasted_bytes_(src.wasted_bytes_),
+      outage_(src.outage_),
+      active_(src.active_),
+      completed_(src.completed_),
+      next_id_(src.next_id_),
+      bytes_delivered_(src.bytes_delivered_),
+      tick_scheduled_(src.tick_scheduled_),
+      tick_event_(src.tick_event_),
+      capacity_history_(src.capacity_history_),
+      busy_accum_(src.busy_accum_),
+      busy_since_(src.busy_since_),
+      busy_(src.busy_) {
+#ifndef NDEBUG
+  for (const auto& [id, a] : active_) {
+    assert(a.handler_slot >= 0 &&
+           "closure-based transfers cannot cross a fork");
+  }
+#endif
+}
+
+int Link::register_handler(TaggedHandler handler) {
+  assert(handler);
+  handlers_.push_back(std::move(handler));
+  return static_cast<int>(handlers_.size()) - 1;
+}
+
+void Link::rebuild_events(cbs::sim::SnapshotContext& ctx) {
+  for (auto& [id, a] : active_) {
+    const TransferId tid = id;
+    a.activation_event =
+        ctx.restore(a.activation_event, [this, tid] { activate(tid); });
+    a.completion_event =
+        ctx.restore(a.completion_event, [this, tid] { complete(tid); });
+  }
+  tick_event_ = ctx.restore(tick_event_, [this] { on_tick(); });
+  assert(!tick_scheduled_ || tick_event_ != cbs::sim::EventId{});
+}
+
 TransferId Link::submit(double bytes, int threads, CompletionHandler on_complete) {
+  Active a;
+  a.on_complete = std::move(on_complete);
+  return submit_impl(bytes, threads, std::move(a));
+}
+
+TransferId Link::submit(double bytes, int threads, int handler_slot,
+                        std::uint64_t tag) {
+  assert(handler_slot >= 0 &&
+         handler_slot < static_cast<int>(handlers_.size()));
+  Active a;
+  a.handler_slot = handler_slot;
+  a.tag = tag;
+  return submit_impl(bytes, threads, std::move(a));
+}
+
+TransferId Link::submit_impl(double bytes, int threads, Active a) {
   assert(bytes > 0.0);
   assert(threads >= 1);
   const TransferId id = next_id_++;
-  Active a;
   a.bytes_total = bytes;
   a.bytes_remaining = bytes;
   a.threads = threads;
   a.requested = sim_.now();
-  a.on_complete = std::move(on_complete);
   active_.emplace(id, std::move(a));
   schedule_activation(id, config_.setup_latency);
   return id;
@@ -184,6 +246,8 @@ void Link::complete(TransferId id) {
   rec.completed = sim_.now();
   bytes_delivered_ += a.bytes_total;
   CompletionHandler handler = std::move(a.on_complete);
+  const int handler_slot = a.handler_slot;
+  const std::uint64_t tag = a.tag;
   active_.erase(it);
   completed_.push_back(rec);
   note_busy_transition();
@@ -193,7 +257,11 @@ void Link::complete(TransferId id) {
     sim_.cancel(tick_event_);
     tick_scheduled_ = false;
   }
-  if (handler) handler(rec);
+  if (handler_slot >= 0) {
+    handlers_[static_cast<std::size_t>(handler_slot)](tag, rec);
+  } else if (handler) {
+    handler(rec);
+  }
 }
 
 bool Link::cancel(TransferId id) {

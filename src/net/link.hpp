@@ -12,6 +12,10 @@
 #include "simcore/simulation.hpp"
 #include "stats/timeseries.hpp"
 
+namespace cbs::sim {
+class SnapshotContext;
+}
+
 namespace cbs::net {
 
 /// Configuration of one link direction (upload or download). All rates are
@@ -91,14 +95,42 @@ struct TransferRecord {
 class Link {
  public:
   using CompletionHandler = std::function<void(const TransferRecord&)>;
+  /// A registered completion handler: receives the caller's tag back.
+  using TaggedHandler =
+      std::function<void(std::uint64_t tag, const TransferRecord&)>;
 
   Link(cbs::sim::Simulation& sim, LinkConfig config, cbs::sim::RngStream rng);
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
 
+  /// Fork support: copies `src`'s value state (noise/failure RNG positions,
+  /// active transfers, accounting) into a link bound to `dst`. Handlers are
+  /// NOT copied — each owner must call register_handler() on the clone in
+  /// the same order as on the source (slot indices must line up), then
+  /// rebuild_events() re-schedules the pending activation/completion/tick
+  /// events. Precondition: every in-flight transfer uses a registered
+  /// handler slot (closure-based submissions cannot cross a fork).
+  Link(cbs::sim::Simulation& dst, const Link& src);
+
+  /// Registers a completion handler and returns its slot for submit().
+  /// Handler slots make the link forkable: the per-transfer state is then
+  /// a plain {slot, tag} pair instead of a closure capturing the owner.
+  int register_handler(TaggedHandler handler);
+
+  /// Re-schedules pending events after a fork (see the clone constructor).
+  void rebuild_events(cbs::sim::SnapshotContext& ctx);
+
   /// Starts a transfer of `bytes` using `threads` parallel connections;
   /// `on_complete` fires (as a simulation event) when the last byte lands.
+  /// Transfers submitted this way pin the link: it cannot be forked while
+  /// they are in flight (tests use this form; production code registers
+  /// handler slots).
   TransferId submit(double bytes, int threads, CompletionHandler on_complete);
+
+  /// Starts a transfer whose completion is dispatched to the registered
+  /// handler `handler_slot` with `tag` — the forkable submission form.
+  TransferId submit(double bytes, int threads, int handler_slot,
+                    std::uint64_t tag);
 
   /// Aborts an in-flight transfer: progress so far is wasted, no completion
   /// fires. Returns false for an unknown/finished id. The controller's
@@ -162,8 +194,12 @@ class Link {
     cbs::sim::SimTime started = 0.0;
     cbs::sim::EventId completion_event{};
     cbs::sim::EventId activation_event{};
-    CompletionHandler on_complete;
+    CompletionHandler on_complete;   ///< closure form (non-forkable)
+    int handler_slot = -1;           ///< registered form; -1 = closure form
+    std::uint64_t tag = 0;
   };
+
+  TransferId submit_impl(double bytes, int threads, Active a);
 
   void activate(TransferId id);
   void schedule_activation(TransferId id, cbs::sim::SimDuration delay);
@@ -179,6 +215,7 @@ class Link {
   LinkConfig config_;
   Ar1LogNoise noise_;
   cbs::sim::RngStream failure_rng_;
+  std::vector<TaggedHandler> handlers_;
   std::uint64_t injected_failures_ = 0;
   std::uint64_t outage_aborts_ = 0;
   double wasted_bytes_ = 0.0;

@@ -109,6 +109,38 @@ EventId EventQueue::push(SimTime t, Callback cb) {
   return EventId{pack_id(slot.gen, idx)};
 }
 
+std::vector<EventQueue::PendingEvent> EventQueue::pending_records() const {
+  std::vector<PendingEvent> out;
+  out.reserve(live_);
+  for (const HeapItem& item : heap_) {
+    const std::uint32_t idx = item.slot();
+    const Slot& slot = slot_at(idx);
+    if (slot.state != SlotState::kPending) continue;
+    out.push_back(PendingEvent{EventId{pack_id(slot.gen, idx)}, item.time,
+                               item.order >> kSlotBits});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PendingEvent& a, const PendingEvent& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+EventId EventQueue::restore(SimTime t, std::uint64_t seq, Callback cb) {
+  assert(is_valid_time(t) && "event time must be finite and non-negative");
+  assert(seq > 0 && seq < next_seq_ && "restore() seq must predate next_seq()");
+  const std::uint32_t idx = acquire_slot();
+  Slot& slot = slot_at(idx);
+  ++slot.gen;
+  slot.state = SlotState::kPending;
+  slot.callback = std::move(cb);
+  assert(idx < (1U << kSlotBits) && "too many concurrent events");
+  heap_.push_back(HeapItem{t, (seq << kSlotBits) | idx});
+  sift_up(heap_.size() - 1);
+  ++live_;
+  return EventId{pack_id(slot.gen, idx)};
+}
+
 bool EventQueue::cancel(EventId id) {
   const std::uint32_t idx = id_slot(id.value);
   if (idx >= slot_count_) return false;

@@ -82,6 +82,33 @@ class EventQueue {
   /// Cancelled events still occupying heap records (diagnostics/tests).
   [[nodiscard]] std::size_t tombstones() const noexcept { return tombstones_; }
 
+  // --- Snapshot/fork support -------------------------------------------
+  //
+  // Callbacks are move-only, so a queue cannot be copied. Instead a fork
+  // serializes the pending {id, time, seq} records and each component
+  // re-registers its own events on the clone via restore(), preserving the
+  // original (time, seq) pair. seq is unique and fires_before() compares
+  // (time, order) where order is dominated by seq, so slot reassignment in
+  // the clone can never change pop order: replay is bit-exact.
+
+  /// One pending event, without its callback.
+  struct PendingEvent {
+    EventId id;         ///< handle in *this* queue (the snapshot source)
+    SimTime time = 0.0;
+    std::uint64_t seq = 0;  ///< original scheduling order
+  };
+
+  /// All live events, sorted by seq (deterministic order).
+  [[nodiscard]] std::vector<PendingEvent> pending_records() const;
+
+  /// Re-schedules an event with an explicit (time, seq) taken from a
+  /// source queue's PendingEvent. Precondition: seq < next_seq() (call
+  /// set_next_seq() first) and seq unique among restored events.
+  EventId restore(SimTime t, std::uint64_t seq, Callback cb);
+
+  [[nodiscard]] std::uint64_t next_seq() const noexcept { return next_seq_; }
+  void set_next_seq(std::uint64_t seq) noexcept { next_seq_ = seq; }
+
  private:
   enum class SlotState : std::uint8_t { kFree, kPending, kCancelled };
 

@@ -3,6 +3,9 @@
 #include <cassert>
 #include <cmath>
 #include <string>
+#include <utility>
+
+#include "simcore/snapshot.hpp"
 
 namespace cbs::sim {
 
@@ -14,55 +17,101 @@ FaultPlan::FaultPlan(Simulation& sim, FaultConfig config, RngStream rng)
   assert(config_.retraction_deadline_factor >= 0.0);
 }
 
+FaultPlan::FaultPlan(Simulation& dst, const FaultPlan& src)
+    : sim_(dst),
+      config_(src.config_),
+      rng_(src.rng_),
+      hooks_(src.hooks_.size()),  // empty pairs; rebind_cluster_hooks() fills
+      processes_(src.processes_),
+      outage_edges_(src.outage_edges_),
+      outages_driven_(src.outages_driven_),
+      outage_depth_(src.outage_depth_),
+      crashes_injected_(src.crashes_injected_),
+      outages_started_(src.outages_started_) {}
+
+void FaultPlan::rebind_cluster_hooks(std::size_t cluster_idx,
+                                     MachineHook on_crash,
+                                     MachineHook on_recover) {
+  assert(cluster_idx < hooks_.size());
+  hooks_[cluster_idx].on_crash = std::move(on_crash);
+  hooks_[cluster_idx].on_recover = std::move(on_recover);
+}
+
+void FaultPlan::rebind_outage_hooks(OutageBeginHook on_begin,
+                                    OutageEndHook on_end) {
+  outage_begin_ = std::move(on_begin);
+  outage_end_ = std::move(on_end);
+}
+
+void FaultPlan::rebuild_events(SnapshotContext& ctx) {
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    CrashProcess& p = processes_[i];
+    if (p.armed) {
+      p.pending = ctx.restore(p.pending, [this, i] { fire(i); });
+    } else if (p.recovering) {
+      p.pending = ctx.restore(p.pending, [this, i] { recover(i); });
+    }
+  }
+  for (std::size_t k = 0; k < outage_edges_.size(); ++k) {
+    outage_edges_[k].event =
+        ctx.restore(outage_edges_[k].event, [this, k] { fire_outage(k); });
+  }
+}
+
 void FaultPlan::drive_vm_crashes(std::string_view cluster, std::size_t machines,
                                  double mtbf, MachineHook on_crash,
                                  MachineHook on_recover) {
   if (mtbf <= 0.0 || machines == 0) return;
-  auto hooks = std::make_unique<ClusterHooks>();
-  hooks->on_crash = std::move(on_crash);
-  hooks->on_recover = std::move(on_recover);
+  const std::size_t cluster_idx = hooks_.size();
+  hooks_.push_back(ClusterHooks{std::move(on_crash), std::move(on_recover)});
   const RngStream cluster_rng = rng_.substream(cluster);
   for (std::size_t m = 0; m < machines; ++m) {
-    auto process = std::make_unique<CrashProcess>(CrashProcess{
-        cluster_rng.substream(m), mtbf, m, hooks.get(), false, false});
-    arm(*process);
-    processes_.push_back(std::move(process));
+    processes_.push_back(CrashProcess{cluster_rng.substream(m), mtbf, m,
+                                      cluster_idx, false, false, EventId{}});
+    arm(processes_.size() - 1);
   }
-  hooks_.push_back(std::move(hooks));
 }
 
-void FaultPlan::arm(CrashProcess& process) {
+void FaultPlan::arm(std::size_t i) {
+  CrashProcess& process = processes_[i];
   if (process.armed) return;
   process.armed = true;
   // Exponential inter-crash time: -mtbf * ln(1 - U), U in [0, 1).
   const double delay =
       -process.mtbf * std::log1p(-process.rng.next_double());
-  CrashProcess* p = &process;  // stable: processes_ holds unique_ptrs
-  sim_.schedule_in(delay, [this, p] { fire(*p); });
+  process.pending = sim_.schedule_in(delay, [this, i] { fire(i); });
 }
 
-void FaultPlan::fire(CrashProcess& process) {
+void FaultPlan::fire(std::size_t i) {
+  CrashProcess& process = processes_[i];
   process.armed = false;
+  process.pending = EventId{};
   // Pause while the system is idle so the event queue can drain; the
   // controller re-arms via ensure_armed() when work arrives.
   if (!is_active()) return;
   ++crashes_injected_;
   process.recovering = true;
-  if (process.hooks->on_crash) process.hooks->on_crash(process.machine);
-  CrashProcess* p = &process;
-  sim_.schedule_in(config_.vm_recovery_seconds, [this, p] {
-    p->recovering = false;
-    if (p->hooks->on_recover) p->hooks->on_recover(p->machine);
-    // Next failure is drawn from the recovery instant, so MTBF measures
-    // time *between* crashes of one machine, not uptime alone.
-    if (is_active()) arm(*p);
-  });
+  ClusterHooks& hooks = hooks_[process.cluster];
+  if (hooks.on_crash) hooks.on_crash(process.machine);
+  process.pending =
+      sim_.schedule_in(config_.vm_recovery_seconds, [this, i] { recover(i); });
+}
+
+void FaultPlan::recover(std::size_t i) {
+  CrashProcess& process = processes_[i];
+  process.recovering = false;
+  process.pending = EventId{};
+  ClusterHooks& hooks = hooks_[process.cluster];
+  if (hooks.on_recover) hooks.on_recover(process.machine);
+  // Next failure is drawn from the recovery instant, so MTBF measures
+  // time *between* crashes of one machine, not uptime alone.
+  if (is_active()) arm(i);
 }
 
 void FaultPlan::ensure_armed() {
-  for (auto& process : processes_) {
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
     // A recovering machine re-arms from its own recovery event.
-    if (!process->armed && !process->recovering) arm(*process);
+    if (!processes_[i].armed && !processes_[i].recovering) arm(i);
   }
 }
 
@@ -73,16 +122,28 @@ void FaultPlan::drive_outages(OutageBeginHook on_begin, OutageEndHook on_end) {
   outage_end_ = std::move(on_end);
   for (const OutageWindow& window : config_.outage_windows) {
     if (window.duration <= 0.0) continue;
-    sim_.schedule_at(window.start, [this, window] {
-      if (outage_depth_++ == 0) {
-        ++outages_started_;
-        if (outage_begin_) outage_begin_(window);
-      }
-    });
-    sim_.schedule_at(window.end(), [this] {
-      assert(outage_depth_ > 0);
-      if (--outage_depth_ == 0 && outage_end_) outage_end_();
-    });
+    const std::size_t begin_idx = outage_edges_.size();
+    outage_edges_.push_back(OutageEdge{window, true, EventId{}});
+    outage_edges_.back().event = sim_.schedule_at(
+        window.start, [this, begin_idx] { fire_outage(begin_idx); });
+    const std::size_t end_idx = outage_edges_.size();
+    outage_edges_.push_back(OutageEdge{window, false, EventId{}});
+    outage_edges_.back().event = sim_.schedule_at(
+        window.end(), [this, end_idx] { fire_outage(end_idx); });
+  }
+}
+
+void FaultPlan::fire_outage(std::size_t k) {
+  OutageEdge& edge = outage_edges_[k];
+  edge.event = EventId{};
+  if (edge.begin) {
+    if (outage_depth_++ == 0) {
+      ++outages_started_;
+      if (outage_begin_) outage_begin_(edge.window);
+    }
+  } else {
+    assert(outage_depth_ > 0);
+    if (--outage_depth_ == 0 && outage_end_) outage_end_();
   }
 }
 

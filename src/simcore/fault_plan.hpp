@@ -71,6 +71,8 @@ struct FaultConfig {
   }
 };
 
+class SnapshotContext;
+
 /// Deterministic, seed-driven fault-event generator.
 ///
 /// The plan owns independent RNG substreams per (cluster, machine), so a
@@ -83,7 +85,11 @@ struct FaultConfig {
 /// Hooks are `UniqueFunction`s (move-only): one crash/recover pair is
 /// stored per `drive_vm_crashes` call and shared by every machine of that
 /// cluster, rather than copied into each per-machine process the way a
-/// `std::function` design would.
+/// `std::function` design would. Event callbacks capture only `this` plus
+/// a process/edge index, and the pending `EventId` is stored alongside the
+/// indexed state — which is what makes the plan forkable: a clone copies
+/// the value state, the owner re-registers the hooks, and
+/// `rebuild_events()` re-schedules whatever was pending.
 class FaultPlan {
  public:
   using MachineHook = UniqueFunction<void(std::size_t)>;
@@ -94,6 +100,24 @@ class FaultPlan {
   FaultPlan(Simulation& sim, FaultConfig config, RngStream rng);
   FaultPlan(const FaultPlan&) = delete;
   FaultPlan& operator=(const FaultPlan&) = delete;
+
+  /// Fork support: copies `src`'s value state (RNG positions, per-process
+  /// armed/recovering flags, outage schedule and depth) into a plan bound
+  /// to `dst`. Hooks and the active gate are NOT copied — the owner must
+  /// re-register them via rebind_cluster_hooks()/rebind_outage_hooks()/
+  /// set_active(), then call rebuild_events() to re-schedule pending work.
+  FaultPlan(Simulation& dst, const FaultPlan& src);
+
+  /// Re-registers the hook pair of the `cluster_idx`-th drive_vm_crashes()
+  /// call (registration order) on a forked plan.
+  void rebind_cluster_hooks(std::size_t cluster_idx, MachineHook on_crash,
+                            MachineHook on_recover);
+
+  /// Re-registers the outage hooks on a forked plan.
+  void rebind_outage_hooks(OutageBeginHook on_begin, OutageEndHook on_end);
+
+  /// Re-schedules pending crash/recovery/outage events after a fork.
+  void rebuild_events(SnapshotContext& ctx);
 
   [[nodiscard]] const FaultConfig& config() const noexcept { return config_; }
 
@@ -125,7 +149,8 @@ class FaultPlan {
 
  private:
   /// One crash/recover hook pair per drive_vm_crashes() call, shared by
-  /// every machine of that cluster (stable address: held by unique_ptr).
+  /// every machine of that cluster (addressed by index, so forks can
+  /// re-register hooks without touching process state).
   struct ClusterHooks {
     MachineHook on_crash;
     MachineHook on_recover;
@@ -135,22 +160,32 @@ class FaultPlan {
     RngStream rng;
     double mtbf;
     std::size_t machine;
-    ClusterHooks* hooks;
-    bool armed;       ///< a crash event is pending
-    bool recovering;  ///< crashed; the recovery event is pending
+    std::size_t cluster;  ///< index into hooks_
+    bool armed;           ///< a crash event is pending
+    bool recovering;      ///< crashed; the recovery event is pending
+    EventId pending{};    ///< the crash (armed) or recovery (recovering) event
   };
 
-  void arm(CrashProcess& process);
-  void fire(CrashProcess& process);
+  /// One scheduled outage edge (begin or end of a configured window).
+  struct OutageEdge {
+    OutageWindow window;
+    bool begin;
+    EventId event{};
+  };
+
+  void arm(std::size_t i);
+  void fire(std::size_t i);
+  void recover(std::size_t i);
+  void fire_outage(std::size_t k);
   [[nodiscard]] bool is_active() { return !active_ || active_(); }
 
   Simulation& sim_;
   FaultConfig config_;
   RngStream rng_;
   ActiveGate active_;
-  std::vector<std::unique_ptr<ClusterHooks>> hooks_;
-  // std::deque-like stability is required: arm() captures element pointers.
-  std::vector<std::unique_ptr<CrashProcess>> processes_;
+  std::vector<ClusterHooks> hooks_;
+  std::vector<CrashProcess> processes_;
+  std::vector<OutageEdge> outage_edges_;
   OutageBeginHook outage_begin_;
   OutageEndHook outage_end_;
   bool outages_driven_ = false;

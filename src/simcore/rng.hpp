@@ -33,6 +33,10 @@ class RngStream {
  public:
   using result_type = std::uint64_t;
 
+  /// The full generator state. Saving and later restoring it reproduces the
+  /// exact draw sequence — the primitive snapshot/fork support is built on.
+  using State = std::array<std::uint64_t, 4>;
+
   /// Seeds the stream from a single 64-bit value via SplitMix64 expansion.
   explicit RngStream(std::uint64_t seed) noexcept;
 
@@ -61,8 +65,16 @@ class RngStream {
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~std::uint64_t{0}; }
 
+  /// Snapshot of the generator state (value semantics; no hidden state).
+  [[nodiscard]] const State& state() const noexcept { return state_; }
+
+  /// Restores a previously saved state; subsequent draws replay exactly.
+  void set_state(const State& state) noexcept { state_ = state; }
+
+  friend bool operator==(const RngStream&, const RngStream&) = default;
+
  private:
-  std::array<std::uint64_t, 4> state_{};
+  State state_{};
 
   [[nodiscard]] std::uint64_t fingerprint() const noexcept;
 };

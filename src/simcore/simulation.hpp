@@ -63,6 +63,28 @@ class Simulation {
   [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
   [[nodiscard]] std::uint64_t events_processed() const noexcept { return processed_; }
 
+  // --- Snapshot/fork support (see simcore/snapshot.hpp) ----------------
+
+  /// Pending {id, time, seq} records, sorted by scheduling order.
+  [[nodiscard]] std::vector<EventQueue::PendingEvent> pending_snapshot() const {
+    return queue_.pending_records();
+  }
+
+  /// Copies the clock, processed count and event-seq counter from `src`
+  /// into this (empty) engine, so restored events keep their original
+  /// ordering and newly scheduled events continue the source's sequence.
+  void adopt_clock_from(const Simulation& src) noexcept {
+    now_ = src.now_;
+    processed_ = src.processed_;
+    stop_requested_ = false;
+    queue_.set_next_seq(src.queue_.next_seq());
+  }
+
+  /// Re-schedules an event carrying a source queue's (time, seq) record.
+  EventId restore_event(SimTime t, std::uint64_t seq, EventQueue::Callback cb) {
+    return queue_.restore(t, seq, std::move(cb));
+  }
+
  private:
   EventQueue queue_;
   SimTime now_ = kTimeZero;

@@ -1,0 +1,55 @@
+#include "simcore/snapshot.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cbs::sim {
+
+SnapshotContext::SnapshotContext(const Simulation& src, Simulation& dst)
+    : dst_(dst) {
+  assert(dst.pending_events() == 0 && "fork destination must be empty");
+  dst_.adopt_clock_from(src);
+  const auto records = src.pending_snapshot();
+  entries_.reserve(records.size());
+  for (const auto& r : records) {
+    entries_.push_back(Entry{r.id.value, r.time, r.seq, false});
+  }
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.id_value < b.id_value;
+            });
+}
+
+SnapshotContext::Entry* SnapshotContext::find(EventId id) noexcept {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), id.value,
+      [](const Entry& e, std::uint64_t v) { return e.id_value < v; });
+  if (it == entries_.end() || it->id_value != id.value) return nullptr;
+  return &*it;
+}
+
+const SnapshotContext::Entry* SnapshotContext::find(EventId id) const noexcept {
+  return const_cast<SnapshotContext*>(this)->find(id);
+}
+
+EventId SnapshotContext::restore(EventId src_id, EventQueue::Callback cb) {
+  Entry* e = find(src_id);
+  if (e == nullptr) return EventId{};
+  assert(!e->restored && "source event restored twice");
+  e->restored = true;
+  ++restored_;
+  return dst_.restore_event(e->time, e->seq, std::move(cb));
+}
+
+bool SnapshotContext::pending(EventId src_id) const noexcept {
+  const Entry* e = find(src_id);
+  return e != nullptr && !e->restored;
+}
+
+std::size_t SnapshotContext::finish() const {
+  const std::size_t unclaimed = entries_.size() - restored_;
+  assert(unclaimed == 0 && "fork left pending source events unclaimed");
+  return unclaimed;
+}
+
+}  // namespace cbs::sim

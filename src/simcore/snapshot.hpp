@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simcore/event_queue.hpp"
+#include "simcore/simulation.hpp"
+
+namespace cbs::sim {
+
+/// The component-owned re-registration protocol for forking a simulation.
+///
+/// Event callbacks are move-only (`UniqueCallback`) and capture `this`
+/// pointers, so a fork cannot copy the event queue. Instead:
+///
+///  1. every component stores the `EventId` of each event it has pending
+///     (plus enough *value* state to rebuild the callback);
+///  2. the fork copies component value state (clone constructors that
+///     rebind references to the cloned peers);
+///  3. each clone walks its stored ids and calls `restore(src_id, cb)`,
+///     which re-schedules `cb` on the destination engine with the source
+///     event's original `(time, seq)` — so the clone's pop order is
+///     bit-identical to the source's — and returns the new id.
+///
+/// `restore` returns a null `EventId{}` when the source id is not pending
+/// (already fired or cancelled); components overwrite their stored id with
+/// the returned one either way, which keeps fired-event handles inert.
+///
+/// `finish()` asserts that every pending source event was claimed by
+/// exactly one component — the "no orphaned events" half of the
+/// fork-equivalence contract (the lint rule `snapshot-unsafe` covers the
+/// "no cross-fork pointers" half).
+class SnapshotContext {
+ public:
+  /// Clones the engine core of `src` into `dst` (clock, processed count,
+  /// seq counter) and indexes its pending events. `dst` must be empty.
+  SnapshotContext(const Simulation& src, Simulation& dst);
+
+  SnapshotContext(const SnapshotContext&) = delete;
+  SnapshotContext& operator=(const SnapshotContext&) = delete;
+
+  [[nodiscard]] Simulation& dst() noexcept { return dst_; }
+
+  /// Re-schedules the clone's callback for the source event `src_id`.
+  /// Returns the id in the destination engine, or `EventId{}` when the
+  /// source event was not pending at snapshot time.
+  EventId restore(EventId src_id, EventQueue::Callback cb);
+
+  /// True when `src_id` was pending at snapshot time and not yet restored.
+  [[nodiscard]] bool pending(EventId src_id) const noexcept;
+
+  [[nodiscard]] std::size_t restored() const noexcept { return restored_; }
+  [[nodiscard]] std::size_t total() const noexcept { return entries_.size(); }
+
+  /// Asserts every pending source event has been restored. Call once, after
+  /// all components re-registered. Returns the number left unclaimed (0 on
+  /// success) so release builds can check it too.
+  std::size_t finish() const;
+
+ private:
+  struct Entry {
+    std::uint64_t id_value;
+    SimTime time;
+    std::uint64_t seq;
+    bool restored;
+  };
+
+  [[nodiscard]] Entry* find(EventId id) noexcept;
+  [[nodiscard]] const Entry* find(EventId id) const noexcept;
+
+  Simulation& dst_;
+  std::vector<Entry> entries_;  ///< sorted by id_value
+  std::size_t restored_ = 0;
+};
+
+}  // namespace cbs::sim

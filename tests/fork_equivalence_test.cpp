@@ -1,0 +1,168 @@
+// Fork-equivalence golden suite: a world forked at any point and run to
+// completion must be *byte-identical* to the straight run — every outcome
+// timestamp, every fault counter, every billing figure. This is the
+// acceptance bar for the snapshot/fork subsystem: exact `==` on doubles
+// throughout, no tolerances.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/scenario.hpp"
+#include "harness/world.hpp"
+
+namespace {
+
+using cbs::harness::RunResult;
+using cbs::harness::Scenario;
+using cbs::harness::ScenarioWorld;
+using cbs::harness::run_scenario;
+using cbs::harness::run_scenario_via_fork;
+
+/// The table1_metrics-style fixture: the §V grid cell the flagship bench
+/// pins, shrunk to keep the suite fast.
+Scenario table1_fixture(cbs::core::SchedulerKind kind) {
+  Scenario s = cbs::harness::make_scenario(kind,
+                                           cbs::workload::SizeBucket::kUniform,
+                                           /*seed=*/42);
+  s.num_batches = 5;
+  return s;
+}
+
+/// The fault_degradation-style fixture: crashes on both clusters, an EC
+/// outage, a probe blackout and the retraction recovery policy all active.
+Scenario fault_fixture() {
+  Scenario s = cbs::harness::make_scenario(
+      cbs::core::SchedulerKind::kOrderPreserving,
+      cbs::workload::SizeBucket::kLargeBiased, /*seed=*/3);
+  s.num_batches = 5;
+  s.faults.ic_vm_mtbf = 3000.0;
+  s.faults.ec_vm_mtbf = 900.0;
+  s.faults.vm_recovery_seconds = 90.0;
+  s.faults.outage_windows = {cbs::sim::OutageWindow{350.0, 200.0}};
+  s.faults.probe_blackout = {cbs::sim::OutageWindow{200.0, 400.0}};
+  s.faults.retraction_deadline_factor = 3.0;
+  return s;
+}
+
+/// Exact equality over everything a run reports. Doubles compared with ==
+/// on purpose: the fork contract is bit-replay, not approximation.
+void expect_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.sim_end_time, b.sim_end_time);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.pull_backs, b.pull_backs);
+  EXPECT_EQ(a.push_outs, b.push_outs);
+  EXPECT_EQ(a.peak_store_bytes, b.peak_store_bytes);
+
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    const auto& x = a.outcomes[i];
+    const auto& y = b.outcomes[i];
+    EXPECT_EQ(x.seq_id, y.seq_id) << "outcome " << i;
+    EXPECT_EQ(x.doc_id, y.doc_id) << "outcome " << i;
+    EXPECT_EQ(x.arrival, y.arrival) << "outcome " << i;
+    EXPECT_EQ(x.scheduled, y.scheduled) << "outcome " << i;
+    EXPECT_EQ(x.completed, y.completed) << "outcome " << i;
+    EXPECT_EQ(x.input_mb, y.input_mb) << "outcome " << i;
+    EXPECT_EQ(x.output_mb, y.output_mb) << "outcome " << i;
+    EXPECT_EQ(x.true_service_seconds, y.true_service_seconds) << "outcome " << i;
+    EXPECT_EQ(x.placement, y.placement) << "outcome " << i;
+  }
+
+  EXPECT_EQ(a.report.makespan_seconds, b.report.makespan_seconds);
+  EXPECT_EQ(a.report.ic_utilization, b.report.ic_utilization);
+  EXPECT_EQ(a.report.ec_utilization, b.report.ec_utilization);
+  EXPECT_EQ(a.report.burst_ratio, b.report.burst_ratio);
+  EXPECT_EQ(a.report.oo_final_mb, b.report.oo_final_mb);
+  EXPECT_EQ(a.report.oo_time_averaged_mb, b.report.oo_time_averaged_mb);
+
+  EXPECT_EQ(a.tickets.met, b.tickets.met);
+  EXPECT_EQ(a.tickets.max_lateness, b.tickets.max_lateness);
+  EXPECT_EQ(a.cost.ec_compute, b.cost.ec_compute);
+  EXPECT_EQ(a.cost.egress, b.cost.egress);
+  EXPECT_EQ(a.cost.ingress, b.cost.ingress);
+  EXPECT_EQ(a.cost.storage, b.cost.storage);
+
+  EXPECT_EQ(a.faults.ic_crashes, b.faults.ic_crashes);
+  EXPECT_EQ(a.faults.ec_crashes, b.faults.ec_crashes);
+  EXPECT_EQ(a.faults.reexecutions, b.faults.reexecutions);
+  EXPECT_EQ(a.faults.wasted_compute_seconds, b.faults.wasted_compute_seconds);
+  EXPECT_EQ(a.faults.link_outage_aborts, b.faults.link_outage_aborts);
+  EXPECT_EQ(a.faults.link_drops, b.faults.link_drops);
+  EXPECT_EQ(a.faults.wasted_transfer_bytes, b.faults.wasted_transfer_bytes);
+  EXPECT_EQ(a.faults.retractions, b.faults.retractions);
+  EXPECT_EQ(a.faults.store_retries, b.faults.store_retries);
+  EXPECT_EQ(a.faults.store_abandoned, b.faults.store_abandoned);
+  EXPECT_EQ(a.faults.probe_blackout_skips, b.faults.probe_blackout_skips);
+  EXPECT_EQ(a.faults.crashes_injected, b.faults.crashes_injected);
+  EXPECT_EQ(a.faults.outages, b.faults.outages);
+}
+
+TEST(ForkEquivalence, WorldMatchesLegacyRunScenario) {
+  // The ScenarioWorld refactor itself must not perturb results: two
+  // straight runs through the world are identical (determinism smoke).
+  const Scenario s = table1_fixture(cbs::core::SchedulerKind::kOrderPreserving);
+  expect_identical(run_scenario(s), run_scenario(s));
+}
+
+TEST(ForkEquivalence, Table1FixtureForkAtZero) {
+  const Scenario s = table1_fixture(cbs::core::SchedulerKind::kOrderPreserving);
+  expect_identical(run_scenario(s), run_scenario_via_fork(s, 0.0));
+}
+
+TEST(ForkEquivalence, Table1FixtureForkMidRun) {
+  const Scenario s = table1_fixture(cbs::core::SchedulerKind::kOrderPreserving);
+  // Mid third batch: uploads, EC processing, probes and the elastic check
+  // are all in flight.
+  expect_identical(run_scenario(s), run_scenario_via_fork(s, 400.0));
+}
+
+TEST(ForkEquivalence, GreedyForkMidRun) {
+  const Scenario s = table1_fixture(cbs::core::SchedulerKind::kGreedy);
+  expect_identical(run_scenario(s), run_scenario_via_fork(s, 500.0));
+}
+
+TEST(ForkEquivalence, FaultFixtureForkAtZero) {
+  const Scenario s = fault_fixture();
+  expect_identical(run_scenario(s), run_scenario_via_fork(s, 0.0));
+}
+
+TEST(ForkEquivalence, FaultFixtureForkMidRun) {
+  // 400 s is inside both the EC outage window (350–550) and the probe
+  // blackout (200–600): the fork must carry armed crash processes, the
+  // open outage depth and pending retraction deadlines across.
+  const Scenario s = fault_fixture();
+  expect_identical(run_scenario(s), run_scenario_via_fork(s, 400.0));
+}
+
+TEST(ForkEquivalence, FaultFixtureForkLate) {
+  const Scenario s = fault_fixture();
+  expect_identical(run_scenario(s), run_scenario_via_fork(s, 700.0));
+}
+
+TEST(ForkEquivalence, ForkIsIndependentOfParent) {
+  // Running the parent to completion after forking must not disturb the
+  // fork (and vice versa): no shared mutable state survives the copy.
+  const Scenario s = fault_fixture();
+  ScenarioWorld parent(s);
+  parent.run_until(400.0);
+  auto forked = parent.fork();
+  parent.run();
+  forked->run();
+  expect_identical(parent.result(), forked->result());
+  expect_identical(forked->result(), run_scenario(s));
+}
+
+TEST(ForkEquivalence, ForkOfForkStillIdentical) {
+  const Scenario s = table1_fixture(cbs::core::SchedulerKind::kOrderPreserving);
+  ScenarioWorld parent(s);
+  parent.run_until(300.0);
+  auto first = parent.fork();
+  first->run_until(600.0);
+  auto second = first->fork();
+  second->run();
+  expect_identical(second->result(), run_scenario(s));
+}
+
+}  // namespace

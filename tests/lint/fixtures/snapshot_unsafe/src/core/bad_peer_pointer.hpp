@@ -1,0 +1,21 @@
+// Negative fixture: a controller-side component caching a raw pointer to
+// a peer component. cbs_lint must report [snapshot-unsafe] — the pointer's
+// identity dies with the source engine on a fork, so the clone would keep
+// steering the *parent's* link. Forkable state holds a rebindable
+// reference, owned value state, or an id/slot handle instead.
+#include "net/link.hpp"
+#include "simcore/simulation.hpp"
+
+namespace cbs::core {
+
+class BadProbeDriver {
+ public:
+  explicit BadProbeDriver(cbs::net::Link& uplink) : uplink_(&uplink) {}
+
+  void probe() { uplink_->submit(1.0e6, 2, nullptr); }
+
+ private:
+  cbs::net::Link* uplink_;  // raw peer pointer: does not survive a fork
+};
+
+}  // namespace cbs::core

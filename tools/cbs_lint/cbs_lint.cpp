@@ -287,6 +287,44 @@ bool matches_std_function(const std::string& code) {
   return false;
 }
 
+/// True when a sim-component type name is followed by `*` (optionally
+/// spaced / const-qualified): a raw component pointer. Pointer identity
+/// does not survive a fork — the snapshot protocol (simcore/snapshot.hpp)
+/// requires components to hold rebindable references, owned value state,
+/// or id/slot handles, never raw peer pointers, whether in member state or
+/// captured into event closures.
+bool has_component_pointer(const std::string& code) {
+  static constexpr std::string_view kComponents[] = {
+      "Simulation",        "EventQueue",     "Link",
+      "Cluster",           "JobStore",       "MapReduceRuntime",
+      "FaultPlan",         "BeliefState",    "TransferQueueSet",
+      "BandwidthEstimator", "ThreadTuner",   "Scheduler",
+      "ProcessingTimeEstimator",
+  };
+  for (const std::string_view token : kComponents) {
+    std::size_t at = 0;
+    while ((at = code.find(token, at)) != std::string::npos) {
+      const std::size_t after = at + token.size();
+      const bool left_ok = at == 0 || !is_ident_char(code[at - 1]);
+      const bool right_ok = after >= code.size() || !is_ident_char(code[after]);
+      if (!left_ok || !right_ok) {
+        at = after;
+        continue;
+      }
+      std::size_t j = after;
+      while (j < code.size() && code[j] == ' ') ++j;
+      if (code.compare(j, 5, "const") == 0 &&
+          (j + 5 >= code.size() || !is_ident_char(code[j + 5]))) {
+        j += 5;
+        while (j < code.size() && code[j] == ' ') ++j;
+      }
+      if (j < code.size() && code[j] == '*') return true;
+      at = after;
+    }
+  }
+  return false;
+}
+
 const std::vector<Rule>& rules() {
   static const std::vector<Rule> kRules = {
       {"nondeterministic-container", "nondeterministic",
@@ -328,6 +366,12 @@ const std::vector<Rule>& rules() {
        "EventId constructed from a raw value: handles must come from "
        "schedule_at/schedule_in so cancel()'s generation check stays sound",
        in_src_outside_simcore, has_raw_eventid},
+      {"snapshot-unsafe", "snapshot",
+       "raw pointer to a sim component in the engine layers: pointer "
+       "identity does not survive a fork — hold a rebindable reference, "
+       "owned value state, or an id/slot handle restored via "
+       "SnapshotContext (simcore/snapshot.hpp)",
+       in_engine_layers, has_component_pointer},
   };
   return kRules;
 }

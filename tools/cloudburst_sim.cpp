@@ -5,12 +5,14 @@
 //   cloudburst_sim --scheduler=greedy --high-var --csv=oo > oo.csv
 //   cloudburst_sim --elastic --batches=12 --lambda=20 --csv=completion
 //
-// Flags: --scheduler (ic-only|greedy|order-preserving|op-bandwidth-split)
+// Flags: --scheduler (ic-only|greedy|order-preserving|op-bandwidth-split|
+//                     random|lookahead)
 //        --bucket (small|uniform|large)   --seed N       --batches N
 //        --lambda J/batch   --interval s  --high-var     --rescheduler
 //        --elastic          --estimator (qrsm|oracle|per-class)
 //        --tolerance t_l    --oo-interval s   --noise sigma
 //        --ic-mtbf s  --ec-mtbf s  --vm-recovery s  --retraction-factor f
+//        --horizon s  --candidates N   (scheduler=lookahead rollouts)
 //        --csv (report|completion|oo)
 #include <cstdio>
 #include <exception>
@@ -33,8 +35,10 @@ void print_usage() {
       "                      [--tolerance t] [--oo-interval s] [--noise sig]\n"
       "                      [--ic-mtbf s] [--ec-mtbf s] [--vm-recovery s]\n"
       "                      [--retraction-factor f]\n"
+      "                      [--horizon s] [--candidates N]\n"
       "                      [--csv report|completion|oo]\n"
       "schedulers: ic-only greedy order-preserving op-bandwidth-split\n"
+      "            random lookahead\n"
       "buckets:    small uniform large\n");
 }
 

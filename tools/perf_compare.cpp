@@ -220,13 +220,26 @@ int compare(const std::string& baseline_path, const std::string& current_path,
                 b.cpu_time_ns, c->cpu_time_ns, (ratio - 1.0) * 100.0);
     if (regressed) ++regressions;
   }
+  // Benchmarks present only in the current run are *additions*: report
+  // them so the committed baseline gets regenerated eventually, but never
+  // fail the gate on them — a new benchmark must be landable in the same
+  // commit that introduces it.
+  std::size_t additions = 0;
   for (const auto& c : cur) {
     if (find(base, c.name) == nullptr) {
-      std::cout << "  [new]    " << c.name << " (not in baseline)\n";
+      ++additions;
+      std::cout << "  [new]    " << c.name
+                << " (addition — not in baseline, not gated)\n";
     }
   }
+  if (additions > 0) {
+    std::cout << "perf_compare: warning: " << additions
+              << " new benchmark(s) without a baseline; re-run `perf_compare"
+                 " emit` to pin them\n";
+  }
   std::cout << "perf_compare: " << compared << " compared, " << regressions
-            << " regression(s) beyond " << threshold * 100.0 << "%\n";
+            << " regression(s) beyond " << threshold * 100.0 << "%, "
+            << additions << " addition(s)\n";
   return regressions > 0 ? 1 : 0;
 }
 
