@@ -7,6 +7,7 @@
 #include "core/scheduler.hpp"
 #include "harness/experiment.hpp"
 #include "models/estimator.hpp"
+#include "models/hazard.hpp"
 #include "harness/runner.hpp"
 #include "harness/scenario.hpp"
 #include "harness/world.hpp"
@@ -295,6 +296,57 @@ void BM_FaultedScenario(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FaultedScenario)->Unit(benchmark::kMillisecond);
+
+void BM_HazardUpdate(benchmark::State& state) {
+  // The per-event cost of the resilience layer: a crash observation plus a
+  // full settle + per-machine probability sweep (what update_resilience
+  // pays at every fault event) over `n` machines.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto kind = state.range(1) == 0
+                        ? cbs::models::HazardPredictorKind::kEwma
+                        : cbs::models::HazardPredictorKind::kBayes;
+  cbs::models::HazardModelConfig cfg;
+  cfg.kind = kind;
+  cbs::models::VmHazardEstimator est(cfg, n);
+  double now = 0.0;
+  std::size_t m = 0;
+  for (auto _ : state) {
+    now += 37.0;
+    est.on_failure(m++ % n, now);
+    est.settle(now);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += est.failure_probability(i, now, 600.0);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_HazardUpdate)
+    ->Args({8, 0})
+    ->Args({64, 0})
+    ->Args({64, 1});
+
+void BM_HazardFaultedScenario(benchmark::State& state) {
+  // BM_FaultedScenario with the predictor on: full run cost including
+  // hazard updates, drain/undrain sweeps and risk-priced burst decisions.
+  for (auto _ : state) {
+    auto scenario = cbs::harness::make_scenario(
+        cbs::core::SchedulerKind::kOrderPreserving,
+        cbs::workload::SizeBucket::kLargeBiased, 1337);
+    scenario.num_batches = 2;
+    scenario.faults.ec_vm_mtbf = 1200.0;
+    scenario.faults.ic_vm_mtbf = 6000.0;
+    scenario.faults.retraction_deadline_factor = 3.0;
+    scenario.faults.outage_windows = {cbs::sim::OutageWindow{400.0, 240.0},
+                                      cbs::sim::OutageWindow{1500.0, 180.0}};
+    scenario.resilience.hazard.kind = cbs::models::HazardPredictorKind::kEwma;
+    scenario.log_threshold = cbs::sim::LogLevel::kOff;  // keep stderr clean
+    benchmark::DoNotOptimize(cbs::harness::run_scenario(scenario));
+  }
+}
+BENCHMARK(BM_HazardFaultedScenario)->Unit(benchmark::kMillisecond);
 
 void BM_SnapshotFork(benchmark::State& state) {
   // Cost of one deep fork of a live mid-run world (engine + controller +

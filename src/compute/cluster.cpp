@@ -28,9 +28,15 @@ Cluster::Cluster(cbs::sim::Simulation& dst, const Cluster& src)
       running_tasks_(src.running_tasks_),
       active_machines_(src.active_machines_),
       down_(src.down_),
+      drained_(src.drained_),
       crashes_(src.crashes_),
       reexecutions_(src.reexecutions_),
+      drains_(src.drains_),
+      undrains_(src.undrains_),
+      drain_preemptions_(src.drain_preemptions_),
+      idle_crashes_absorbed_(src.idle_crashes_absorbed_),
       wasted_standard_seconds_(src.wasted_standard_seconds_),
+      checkpointed_standard_seconds_(src.checkpointed_standard_seconds_),
       provision_accum_(src.provision_accum_),
       provision_since_(src.provision_since_),
       provision_level_(src.provision_level_),
@@ -140,15 +146,25 @@ TaskId Cluster::submit(double standard_service_seconds, std::uint64_t group_id,
 
 void Cluster::dispatch() {
   while (!queue_.empty()) {
-    // Lowest-indexed free, non-retired, non-crashed machine, if any.
+    // Lowest-indexed free, non-retired, non-crashed machine. Drained
+    // machines are a soft exclusion: they are skipped while any healthy
+    // machine is free (work migrates away from predicted failures) but
+    // still accept work rather than stall the queue — a drain trades
+    // placement preference, never capacity.
     std::size_t free = machines_.size();
+    std::size_t drained_free = machines_.size();
     for (std::size_t m = 0; m < machines_.size(); ++m) {
-      if (!machines_[m].busy && !machines_[m].retired &&
-          !machines_[m].retire_when_free && !machines_[m].down) {
+      if (machines_[m].busy || machines_[m].retired ||
+          machines_[m].retire_when_free || machines_[m].down) {
+        continue;
+      }
+      if (!machines_[m].drained) {
         free = m;
         break;
       }
+      if (drained_free == machines_.size()) drained_free = m;
     }
+    if (free == machines_.size()) free = drained_free;
     if (free == machines_.size()) return;
 
     Pending task = std::move(queue_.front());
@@ -216,6 +232,9 @@ bool Cluster::crash_machine(std::size_t machine_idx) {
   Machine& machine = machines_[machine_idx];
   if (machine.retired || machine.down) return false;
   ++crashes_;
+  // A crash on a pre-emptively drained, idle machine destroys nothing —
+  // exactly the outcome the proactive policy drains for.
+  if (machine.drained && !machine.busy) ++idle_crashes_absorbed_;
   if (machine.busy) {
     Running& run = *running_tasks_[machine_idx];
     sim_.cancel(run.completion);
@@ -258,6 +277,60 @@ bool Cluster::recover_machine(std::size_t machine_idx) {
   --down_;
   dispatch();
   return true;
+}
+
+bool Cluster::drain_machine(std::size_t machine_idx, bool preempt) {
+  if (machine_idx >= machines_.size()) return false;
+  Machine& machine = machines_[machine_idx];
+  if (machine.retired || machine.retire_when_free || machine.drained) {
+    return false;
+  }
+  machine.drained = true;
+  ++drained_;
+  ++drains_;
+  if (preempt && machine.busy) {
+    // Checkpoint-restart: cancel the completion, bank the finished
+    // fraction and re-queue only the remainder at its FCFS position.
+    Running& run = *running_tasks_[machine_idx];
+    sim_.cancel(run.completion);
+    const double done_standard = (sim_.now() - run.started) * speed_;
+    machine.busy = false;
+    machine.busy_accum += sim_.now() - machine.busy_since;
+    --running_;
+    ++drain_preemptions_;
+    Pending task = std::move(run.task);
+    running_tasks_[machine_idx].reset();
+    const double remaining =
+        std::max(0.0, task.standard_service - done_standard);
+    checkpointed_standard_seconds_ += task.standard_service - remaining;
+    task.standard_service = remaining;
+    queued_standard_seconds_ += remaining;
+    queue_.push_front(std::move(task));
+    dispatch();
+  }
+  return true;
+}
+
+bool Cluster::undrain_machine(std::size_t machine_idx) {
+  if (machine_idx >= machines_.size()) return false;
+  Machine& machine = machines_[machine_idx];
+  if (!machine.drained) return false;
+  machine.drained = false;
+  assert(drained_ > 0);
+  --drained_;
+  ++undrains_;
+  dispatch();
+  return true;
+}
+
+bool Cluster::machine_drained(std::size_t machine) const {
+  assert(machine < machines_.size());
+  return machines_[machine].drained;
+}
+
+bool Cluster::machine_retired(std::size_t machine) const {
+  assert(machine < machines_.size());
+  return machines_[machine].retired;
 }
 
 double Cluster::machine_busy_time(std::size_t machine) const {

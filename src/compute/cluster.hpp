@@ -146,6 +146,47 @@ class Cluster {
   /// Returns false unless the machine is currently down.
   bool recover_machine(std::size_t machine);
 
+  // ---- Proactive drains (pre-emptive resilience policy) ---------------
+
+  /// Drains one machine: dispatch avoids it while any healthy machine is
+  /// free (a *soft* exclusion — under full backlog it still accepts work
+  /// rather than stall the queue, so a drain trades placement preference,
+  /// never capacity). It stays provisioned (still billed, still counted in
+  /// machine_count()). With `preempt`, a task running on it is
+  /// checkpoint-restarted: its completed fraction is preserved and only the
+  /// remaining service re-queues at the *front* of the FCFS queue — unlike
+  /// a crash, no compute is wasted. Refused (returns false) for a retired
+  /// or already-drained machine.
+  bool drain_machine(std::size_t machine, bool preempt);
+
+  /// Lifts a drain; the machine immediately pulls queued work. Returns
+  /// false unless the machine is currently drained.
+  bool undrain_machine(std::size_t machine);
+
+  [[nodiscard]] bool machine_drained(std::size_t machine) const;
+  [[nodiscard]] bool machine_retired(std::size_t machine) const;
+  /// Machines currently drained.
+  [[nodiscard]] std::size_t drained_machines() const noexcept {
+    return drained_;
+  }
+  /// Cumulative drain / undrain decisions applied.
+  [[nodiscard]] std::uint64_t drains() const noexcept { return drains_; }
+  [[nodiscard]] std::uint64_t undrains() const noexcept { return undrains_; }
+  /// Running tasks checkpoint-restarted by a pre-emptive drain.
+  [[nodiscard]] std::uint64_t drain_preemptions() const noexcept {
+    return drain_preemptions_;
+  }
+  /// Standard (speed-1) seconds of partial work preserved by checkpoint
+  /// restarts — compute a crash would have wasted.
+  [[nodiscard]] double checkpointed_standard_seconds() const noexcept {
+    return checkpointed_standard_seconds_;
+  }
+  /// Crashes that landed on a drained, idle machine — the proactive
+  /// policy's dividend: those crashes destroyed no work at all.
+  [[nodiscard]] std::uint64_t idle_crashes_absorbed() const noexcept {
+    return idle_crashes_absorbed_;
+  }
+
   /// Machines currently down (crashed, not yet recovered).
   [[nodiscard]] std::size_t down_machines() const noexcept { return down_; }
   /// Crash events applied so far.
@@ -167,6 +208,7 @@ class Cluster {
     bool retired = false;        ///< released; never dispatched again
     bool retire_when_free = false;
     bool down = false;           ///< crashed; awaiting recover_machine()
+    bool drained = false;        ///< pre-emptively held out of dispatch
     double busy_accum = 0.0;
     cbs::sim::SimTime busy_since = 0.0;
   };
@@ -200,9 +242,15 @@ class Cluster {
   std::vector<std::optional<Running>> running_tasks_;  ///< parallel to machines_
   std::size_t active_machines_ = 0;
   std::size_t down_ = 0;
+  std::size_t drained_ = 0;
   std::uint64_t crashes_ = 0;
   std::uint64_t reexecutions_ = 0;
+  std::uint64_t drains_ = 0;
+  std::uint64_t undrains_ = 0;
+  std::uint64_t drain_preemptions_ = 0;
+  std::uint64_t idle_crashes_absorbed_ = 0;
   double wasted_standard_seconds_ = 0.0;
+  double checkpointed_standard_seconds_ = 0.0;
   // Provisioned machine-seconds accounting.
   double provision_accum_ = 0.0;
   cbs::sim::SimTime provision_since_ = 0.0;

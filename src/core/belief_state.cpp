@@ -55,7 +55,8 @@ BeliefState::BeliefState(
       ec_finish_heap_(src.ec_finish_heap_),
       ec_outstanding_seconds_(src.ec_outstanding_seconds_),
       upload_backlog_bytes_(src.upload_backlog_bytes_),
-      view_(src.view_) {}
+      view_(src.view_),
+      ec_risk_factor_(src.ec_risk_factor_) {}
 
 double BeliefState::estimate_service(const cbs::workload::Document& doc) const {
   return service_estimator_.estimate_seconds(doc);
@@ -99,7 +100,11 @@ EcEstimate BeliefState::ft_ec(const cbs::workload::Document& doc,
   const double drained = (upload_done - now) * ec_capacity();
   const double backlog_left = std::max(0.0, ec_outstanding_seconds_ - drained);
   e.ec_wait_seconds = backlog_left / ec_capacity();
-  e.processing_seconds = ec_job_overhead_ + estimate_service(doc) / ec_job_rate_;
+  // Risk pricing: predicted EC failure risk inflates the believed
+  // processing term (× 1.0 exactly when the hazard predictor is off).
+  e.processing_seconds =
+      (ec_job_overhead_ + estimate_service(doc) / ec_job_rate_) *
+      (1.0 + ec_risk_factor_);
   const SimTime proc_done =
       upload_done + e.ec_wait_seconds + e.processing_seconds;
 
@@ -121,7 +126,9 @@ EcEstimate BeliefState::ft_ec_job_level(
   const double drained = (upload_done - now) * ec_capacity();
   const double backlog_left = std::max(0.0, ec_outstanding_seconds_ - drained);
   e.ec_wait_seconds = backlog_left / ec_capacity();
-  e.processing_seconds = ec_job_overhead_ + estimate_service(doc) / ec_job_rate_;
+  e.processing_seconds =
+      (ec_job_overhead_ + estimate_service(doc) / ec_job_rate_) *
+      (1.0 + ec_risk_factor_);
   const SimTime proc_done = upload_done + e.ec_wait_seconds + e.processing_seconds;
   e.download_seconds = download_seconds_for(
       proc_done, observed_download_backlog_bytes + doc.output_bytes());
@@ -132,7 +139,9 @@ EcEstimate BeliefState::ft_ec_job_level(
 double BeliefState::ec_round_trip_no_load(const cbs::workload::Document& doc,
                                           SimTime now) const {
   const double up = upload_seconds_for(now, doc.input_bytes());
-  const double proc = ec_job_overhead_ + estimate_service(doc) / ec_job_rate_;
+  const double proc =
+      (ec_job_overhead_ + estimate_service(doc) / ec_job_rate_) *
+      (1.0 + ec_risk_factor_);
   const double down = download_seconds_for(now + up + proc, doc.output_bytes());
   return up + proc + down;
 }

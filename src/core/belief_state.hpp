@@ -153,6 +153,15 @@ class BeliefState {
   }
   [[nodiscard]] std::size_t ec_machines() const noexcept { return ec_machines_; }
 
+  /// Proactive-resilience risk pricing: believed EC processing time scales
+  /// by (1 + factor), so every scheduler that consults ft_ec /
+  /// ft_ec_job_level / ec_round_trip_no_load prices predicted EC failure
+  /// risk into its burst decision. 0 (the default) is an exact no-op.
+  void set_ec_risk_factor(double factor) noexcept {
+    ec_risk_factor_ = factor < 0.0 ? 0.0 : factor;
+  }
+  [[nodiscard]] double ec_risk_factor() const noexcept { return ec_risk_factor_; }
+
  private:
   [[nodiscard]] double ic_capacity() const noexcept {
     return static_cast<double>(ic_machines_) * ic_speed_;
@@ -196,6 +205,7 @@ class BeliefState {
   double ec_outstanding_seconds_ = 0.0;
   double upload_backlog_bytes_ = 0.0;
   BandwidthView view_ = BandwidthView::kLearned;
+  double ec_risk_factor_ = 0.0;  ///< believed-EC inflation, (1 + factor)
 };
 
 }  // namespace cbs::core

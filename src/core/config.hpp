@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "compute/job_store.hpp"
+#include "models/hazard.hpp"
 #include "net/bandwidth_estimator.hpp"
 #include "net/link.hpp"
 #include "net/thread_tuner.hpp"
@@ -101,6 +102,35 @@ struct ElasticEcConfig {
   double shrink_idle_fraction = 0.5;
 };
 
+/// Proactive failure resilience: an online per-VM hazard predictor
+/// (models/hazard.hpp) feeding three controller policies — pre-emptive
+/// drain of high-hazard machines, risk-weighted burst pricing (believed EC
+/// round trips inflate with predicted failure probability, which every
+/// scheduler consumes through BeliefState), and hazard-shortened burst
+/// retraction deadlines. Default-constructed = predictor off: nothing is
+/// built, no estimate changes, runs stay byte-identical.
+struct ResilienceConfig {
+  cbs::models::HazardModelConfig hazard{};
+  /// Drain a machine once its predicted failure probability within
+  /// `drain_window_seconds` reaches this; it is undrained when the
+  /// probability falls back below. Drains are soft: dispatch avoids the
+  /// machine while a healthy one is free, but never stalls the queue
+  /// (compute::Cluster::drain_machine).
+  double drain_threshold = 0.35;
+  cbs::sim::SimDuration drain_window_seconds = 600.0;
+  /// Risk pricing lever: believed EC processing scales by
+  /// (1 + risk_weight × mean P(EC VM fails within the drain window)).
+  double risk_weight = 0.5;
+  /// Checkpoint-restart the running task when its machine drains (the
+  /// completed fraction is preserved); otherwise the task runs to the end
+  /// and only new dispatches are blocked.
+  bool preempt_on_drain = true;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return hazard.kind != cbs::models::HazardPredictorKind::kOff;
+  }
+};
+
 /// The full controller configuration.
 struct ControllerConfig {
   SchedulerKind scheduler = SchedulerKind::kOrderPreserving;
@@ -126,6 +156,10 @@ struct ControllerConfig {
   /// fully disabled and zero-cost: no FaultPlan is built, no events are
   /// scheduled, runs are byte-identical to a fault-free build.
   cbs::sim::FaultConfig faults{};
+
+  /// Proactive failure resilience (hazard prediction + drains). Disabled by
+  /// default; zero-cost and byte-identical when off.
+  ResilienceConfig resilience{};
 
   /// EC staging-store retry/backoff/capacity knobs (S3 best-effort model).
   cbs::compute::JobStore::Config store{};

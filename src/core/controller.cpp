@@ -83,15 +83,21 @@ CloudBurstController::CloudBurstController(cbs::sim::Simulation& sim,
     fault_plan_->set_active([this] { return outstanding_ > 0; });
     fault_plan_->drive_vm_crashes(
         "ic", config_.topology.ic_machines, config_.faults.ic_vm_mtbf,
-        [this](std::size_t m) { ic_cluster_.crash_machine(m); },
-        [this](std::size_t m) { ic_cluster_.recover_machine(m); });
+        [this](std::size_t m) { on_ic_crash(m); },
+        [this](std::size_t m) { on_ic_recover(m); });
     fault_plan_->drive_vm_crashes(
         "ec", config_.topology.ec_machines, config_.faults.ec_vm_mtbf,
-        [this](std::size_t m) { ec_cluster_.crash_machine(m); },
-        [this](std::size_t m) { ec_cluster_.recover_machine(m); });
+        [this](std::size_t m) { on_ec_crash(m); },
+        [this](std::size_t m) { on_ec_recover(m); });
     fault_plan_->drive_outages(
         [this](const sim::OutageWindow&) { on_outage_begin(); },
         [this] { on_outage_end(); });
+  }
+  if (config_.resilience.enabled()) {
+    ic_hazard_ = std::make_unique<models::VmHazardEstimator>(
+        config_.resilience.hazard, config_.topology.ic_machines, sim_.now());
+    ec_hazard_ = std::make_unique<models::VmHazardEstimator>(
+        config_.resilience.hazard, config_.topology.ec_machines, sim_.now());
   }
 }
 
@@ -164,17 +170,21 @@ CloudBurstController::CloudBurstController(cbs::sim::Simulation& dst,
     std::size_t idx = 0;
     if (config_.faults.ic_vm_mtbf > 0.0 && config_.topology.ic_machines > 0) {
       fault_plan_->rebind_cluster_hooks(
-          idx++, [this](std::size_t m) { ic_cluster_.crash_machine(m); },
-          [this](std::size_t m) { ic_cluster_.recover_machine(m); });
+          idx++, [this](std::size_t m) { on_ic_crash(m); },
+          [this](std::size_t m) { on_ic_recover(m); });
     }
     if (config_.faults.ec_vm_mtbf > 0.0 && config_.topology.ec_machines > 0) {
       fault_plan_->rebind_cluster_hooks(
-          idx++, [this](std::size_t m) { ec_cluster_.crash_machine(m); },
-          [this](std::size_t m) { ec_cluster_.recover_machine(m); });
+          idx++, [this](std::size_t m) { on_ec_crash(m); },
+          [this](std::size_t m) { on_ec_recover(m); });
     }
     fault_plan_->rebind_outage_hooks(
         [this](const sim::OutageWindow&) { on_outage_begin(); },
         [this] { on_outage_end(); });
+  }
+  if (src.ic_hazard_) {
+    ic_hazard_ = std::make_unique<models::VmHazardEstimator>(*src.ic_hazard_);
+    ec_hazard_ = std::make_unique<models::VmHazardEstimator>(*src.ec_hazard_);
   }
 }
 
@@ -265,6 +275,9 @@ Job& CloudBurstController::job_at(std::uint64_t seq) {
 }
 
 void CloudBurstController::on_batch(const cbs::workload::Batch& batch) {
+  // Refresh the hazard picture before pricing this batch: drains, the
+  // believed EC capacity and the risk factor all feed the decisions below.
+  update_resilience();
   Scheduler::Context ctx{
       .now = sim_.now(),
       .belief = belief_,
@@ -520,8 +533,12 @@ void CloudBurstController::arm_burst_deadline(std::uint64_t seq) {
   // phase; past that, the burst is doing worse than the estimate that
   // justified it and an internal re-execution is the safer bet.
   const double round_trip = belief_.ec_round_trip_no_load(job.doc, sim_.now());
-  const double delay =
+  double delay =
       config_.faults.retraction_deadline_factor * std::max(round_trip, 1.0);
+  // Hazard-aware retraction: when the predictor sees EC failure risk, give
+  // the burst proportionally less patience before pulling it home — the
+  // expected cost of waiting out a predicted outage rises with the risk.
+  if (ec_hazard_) delay /= (1.0 + belief_.ec_risk_factor());
   burst_deadlines_[seq] =
       sim_.schedule_in(delay, [this, seq] { on_burst_deadline(seq); });
 }
@@ -588,6 +605,82 @@ void CloudBurstController::on_outage_end() {
   uplink_.set_outage(false);
   downlink_.set_outage(false);
   store_.set_available(true);
+}
+
+// ---- proactive failure resilience (hazard prediction, DESIGN.md §13) ----
+
+void CloudBurstController::on_ic_crash(std::size_t machine) {
+  // Feed the estimator *before* applying the crash so the gap sample ends
+  // exactly at the crash instant, then re-evaluate the proactive policy.
+  if (ic_hazard_) ic_hazard_->on_failure(machine, sim_.now());
+  ic_cluster_.crash_machine(machine);
+  if (ic_hazard_) update_resilience();
+}
+
+void CloudBurstController::on_ic_recover(std::size_t machine) {
+  ic_cluster_.recover_machine(machine);
+  if (ic_hazard_) update_resilience();
+}
+
+void CloudBurstController::on_ec_crash(std::size_t machine) {
+  if (ec_hazard_) {
+    // Elastic EC may have grown the cluster since construction.
+    ec_hazard_->ensure_machines(ec_cluster_.machine_slots(), sim_.now());
+    ec_hazard_->on_failure(machine, sim_.now());
+  }
+  ec_cluster_.crash_machine(machine);
+  if (ec_hazard_) update_resilience();
+}
+
+void CloudBurstController::on_ec_recover(std::size_t machine) {
+  ec_cluster_.recover_machine(machine);
+  if (ec_hazard_) update_resilience();
+}
+
+void CloudBurstController::update_resilience() {
+  if (!ic_hazard_) return;
+  const sim::SimTime now = sim_.now();
+  // Expire stale crash predictions first so precision/recall bookkeeping
+  // never credits a drain that simply outlived its window.
+  ic_hazard_->settle(now);
+  ec_hazard_->settle(now);
+  update_cluster_drains(ic_cluster_, *ic_hazard_);
+  update_cluster_drains(ec_cluster_, *ec_hazard_);
+  // Fold the predicted EC outage risk into every believed-EC estimate via
+  // a single lever: ft_ec and friends inflate their processing term by
+  // (1 + risk_weight * mean failure probability). Drains are soft (they
+  // re-route dispatch, not remove capacity), so the believed machine count
+  // is left alone.
+  belief_.set_ec_risk_factor(config_.resilience.risk_weight *
+                             ec_failure_risk());
+}
+
+void CloudBurstController::update_cluster_drains(
+    compute::Cluster& cluster, models::VmHazardEstimator& hazard) {
+  const sim::SimTime now = sim_.now();
+  const sim::SimDuration window = config_.resilience.drain_window_seconds;
+  hazard.ensure_machines(cluster.machine_slots(), now);
+  for (std::size_t m = 0; m < cluster.machine_slots(); ++m) {
+    if (cluster.machine_retired(m)) continue;
+    const double p = hazard.failure_probability(m, now, window);
+    if (p >= config_.resilience.drain_threshold) {
+      if (cluster.machine_drained(m) ||
+          cluster.drain_machine(m, config_.resilience.preempt_on_drain)) {
+        // Flag (or keep flagging) the machine as predicted-to-crash; the
+        // estimator scores the prediction when the crash lands or the
+        // window expires.
+        hazard.note_prediction(m, now, window);
+      }
+    } else if (cluster.machine_drained(m)) {
+      cluster.undrain_machine(m);
+    }
+  }
+}
+
+double CloudBurstController::ec_failure_risk() const {
+  if (!ec_hazard_) return 0.0;
+  return models::mean_failure_probability(
+      *ec_hazard_, sim_.now(), config_.resilience.drain_window_seconds);
 }
 
 // ---- elastic EC scaling (§V.B.4 future work, behind a flag) -------------

@@ -14,6 +14,7 @@
 #include "core/upload_queues.hpp"
 #include "util/flat_map.hpp"
 #include "models/estimator.hpp"
+#include "models/hazard.hpp"
 #include "net/bandwidth_estimator.hpp"
 #include "net/link.hpp"
 #include "net/thread_tuner.hpp"
@@ -115,6 +116,21 @@ class CloudBurstController {
   [[nodiscard]] std::size_t probe_blackout_skips() const noexcept {
     return probe_blackout_skips_;
   }
+  /// The per-VM hazard estimators, or nullptr when the predictor is off.
+  [[nodiscard]] const models::VmHazardEstimator* ic_hazard() const noexcept {
+    return ic_hazard_.get();
+  }
+  [[nodiscard]] const models::VmHazardEstimator* ec_hazard() const noexcept {
+    return ec_hazard_.get();
+  }
+  /// Mean predicted probability that a usable (non-drained) EC machine
+  /// fails within the drain window; 0 when the predictor is off. This is
+  /// the risk signal the burst pricing and the lookahead scoring consume.
+  [[nodiscard]] double ec_failure_risk() const;
+  /// Outstanding jobs the belief currently places on the EC.
+  [[nodiscard]] std::size_t outstanding_ec_jobs() const noexcept {
+    return belief_.outstanding_ec_jobs();
+  }
   /// The fault generator, or nullptr when faults are disabled.
   // cbs-lint: snapshot-ok(observer return of the owned unique_ptr, never stored)
   [[nodiscard]] const cbs::sim::FaultPlan* fault_plan() const noexcept {
@@ -163,6 +179,18 @@ class CloudBurstController {
   void elastic_check();
   void maybe_pull_back();
   void maybe_push_out();
+  // ---- proactive resilience (hazard prediction + drains) ----
+  void on_ic_crash(std::size_t machine);
+  void on_ic_recover(std::size_t machine);
+  void on_ec_crash(std::size_t machine);
+  void on_ec_recover(std::size_t machine);
+  /// Re-evaluates drains and the believed EC risk factor; no-op when the
+  /// predictor is off. Runs at every crash, recovery and batch arrival —
+  /// existing deterministic event points, so no new events are created and
+  /// nothing extra crosses a fork.
+  void update_resilience();
+  void update_cluster_drains(compute::Cluster& cluster,
+                             models::VmHazardEstimator& hazard);
   [[nodiscard]] compute::MapReduceSpec spec_for(const Job& job,
                                                 double merge_per_mb) const;
   [[nodiscard]] Job& job_at(std::uint64_t seq);
@@ -224,6 +252,11 @@ class CloudBurstController {
   cbs::util::FlatMap<std::uint64_t, cbs::sim::EventId> burst_deadlines_;
   std::size_t retractions_ = 0;
   std::size_t probe_blackout_skips_ = 0;
+
+  // ---- proactive resilience (absent and cost-free unless configured) ----
+  // Pure value state (no events, no hooks), so forks copy-construct them.
+  std::unique_ptr<models::VmHazardEstimator> ic_hazard_;
+  std::unique_ptr<models::VmHazardEstimator> ec_hazard_;
 };
 
 }  // namespace cbs::core

@@ -86,6 +86,10 @@ MultiCloudController::MultiCloudController(
         sim, config_.sites[i], config_.bandwidth_estimator,
         config_.thread_tuner, rng.substream(i)));
     wire_site_hooks(i);
+    if (config_.resilience.enabled()) {
+      site_hazards_.emplace_back(config_.resilience.hazard,
+                                 config_.sites[i].machines, sim.now());
+    }
   }
   ic_cluster_.set_task_done_hook([this] { dispatch_ic(); });
   ic_runtime_.set_on_complete(
@@ -115,6 +119,7 @@ MultiCloudController::MultiCloudController(
       outstanding_(src.outstanding_),
       probe_scheduled_(src.probe_scheduled_),
       probe_event_(src.probe_event_) {
+  site_hazards_ = src.site_hazards_;  // pure value state, plain copy
   if (config_.log_sink) log_.set_sink(config_.log_sink);
   for (std::size_t i = 0; i < src.sites_.size(); ++i) {
     sites_.push_back(std::make_unique<Site>(dst, *src.sites_[i]));
@@ -187,6 +192,11 @@ MultiCloudController::SiteEstimate MultiCloudController::ft_site(
   e.processing_seconds = site.config.job_overhead_seconds +
                          estimator_.estimate_seconds(doc) / site.config.speed +
                          backlog_left / capacity;
+  // Risk-weighted *where*: the predicted failure risk of this site's
+  // machines inflates its believed processing term, steering placement
+  // toward healthier providers (× 1.0 exactly when the predictor is off).
+  e.processing_seconds *= 1.0 + config_.resilience.risk_weight *
+                                    site_failure_risk(site_idx);
   const SimTime proc_done = upload_done + e.processing_seconds;
   e.download_seconds = site.downlink_estimator.estimate_transfer_seconds(
       proc_done, doc.output_bytes());
@@ -411,6 +421,54 @@ void MultiCloudController::probe() {
                          site.probe_down_slot, 0);
   }
   ensure_probing();
+}
+
+// ---- proactive failure resilience (DESIGN.md §13) -----------------------
+
+void MultiCloudController::report_site_failure(std::size_t site_idx,
+                                               std::size_t machine) {
+  Site& site = *sites_.at(site_idx);
+  if (site_idx < site_hazards_.size()) {
+    site_hazards_[site_idx].ensure_machines(site.cluster.machine_slots(),
+                                            sim_.now());
+    site_hazards_[site_idx].on_failure(machine, sim_.now());
+  }
+  site.cluster.crash_machine(machine);
+  if (site_idx < site_hazards_.size()) update_site_drains(site_idx);
+}
+
+void MultiCloudController::report_site_recovery(std::size_t site_idx,
+                                                std::size_t machine) {
+  sites_.at(site_idx)->cluster.recover_machine(machine);
+  if (site_idx < site_hazards_.size()) update_site_drains(site_idx);
+}
+
+double MultiCloudController::site_failure_risk(std::size_t site_idx) const {
+  if (site_idx >= site_hazards_.size()) return 0.0;
+  return models::mean_failure_probability(
+      site_hazards_[site_idx], sim_.now(),
+      config_.resilience.drain_window_seconds);
+}
+
+void MultiCloudController::update_site_drains(std::size_t site_idx) {
+  const SimTime now = sim_.now();
+  const cbs::sim::SimDuration window = config_.resilience.drain_window_seconds;
+  models::VmHazardEstimator& hazard = site_hazards_[site_idx];
+  compute::Cluster& cluster = sites_[site_idx]->cluster;
+  hazard.settle(now);
+  hazard.ensure_machines(cluster.machine_slots(), now);
+  for (std::size_t m = 0; m < cluster.machine_slots(); ++m) {
+    if (cluster.machine_retired(m)) continue;
+    const double p = hazard.failure_probability(m, now, window);
+    if (p >= config_.resilience.drain_threshold) {
+      if (cluster.machine_drained(m) ||
+          cluster.drain_machine(m, config_.resilience.preempt_on_drain)) {
+        hazard.note_prediction(m, now, window);
+      }
+    } else if (cluster.machine_drained(m)) {
+      cluster.undrain_machine(m);
+    }
+  }
 }
 
 std::vector<std::size_t> MultiCloudController::bursts_per_site() const {

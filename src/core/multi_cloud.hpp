@@ -67,6 +67,12 @@ struct MultiCloudConfig {
   /// Ticket promise used by kCheapestFeasible to define "meets the SLA".
   cbs::sla::TicketPolicy ticket_policy{};
 
+  /// Proactive failure resilience (DESIGN.md §13): when the hazard
+  /// predictor is on, each site keeps a per-VM hazard estimator, ft_site
+  /// inflates the believed processing term by the site's predicted failure
+  /// risk (risk-weighted *where*), and high-hazard machines are drained.
+  ResilienceConfig resilience{};
+
   /// Per-run logging (see ControllerConfig::log_threshold/log_sink): each
   /// controller owns its Logger so concurrent runs stay independent.
   cbs::sim::LogLevel log_threshold = cbs::sim::LogLevel::kWarn;
@@ -122,6 +128,25 @@ class MultiCloudController {
   }
   /// Jobs bursted to each site over the run.
   [[nodiscard]] std::vector<std::size_t> bursts_per_site() const;
+
+  // ---- proactive resilience (hazard-aware site selection) --------------
+
+  /// External fault drivers report a machine crash / recovery on one site.
+  /// With the predictor on, the crash feeds that site's hazard estimator
+  /// and the drain policy re-evaluates; either way the site cluster's
+  /// crash/recover machinery runs (task re-queued, machine down/up).
+  void report_site_failure(std::size_t site, std::size_t machine);
+  void report_site_recovery(std::size_t site, std::size_t machine);
+
+  /// Mean predicted failure probability of `site`'s machines over the
+  /// drain window; 0 when the predictor is off.
+  [[nodiscard]] double site_failure_risk(std::size_t site) const;
+
+  /// The per-site hazard estimator, or nullptr when the predictor is off.
+  [[nodiscard]] const models::VmHazardEstimator* site_hazard(
+      std::size_t site) const {
+    return site < site_hazards_.size() ? &site_hazards_[site] : nullptr;
+  }
 
  private:
   struct Site {
@@ -183,6 +208,7 @@ class MultiCloudController {
   void finish_job(Job& job);
   void ensure_probing();
   void probe();
+  void update_site_drains(std::size_t site_idx);
   void wire_site_hooks(std::size_t site_idx);
   [[nodiscard]] Job& job_at(std::uint64_t seq);
   [[nodiscard]] compute::MapReduceSpec spec_for(const Job& job) const;
@@ -196,6 +222,9 @@ class MultiCloudController {
   compute::Cluster ic_cluster_;
   compute::MapReduceRuntime ic_runtime_;
   std::vector<std::unique_ptr<Site>> sites_;
+  /// One hazard estimator per site (empty when the predictor is off).
+  /// Pure value state: forks copy the vector, nothing re-registers.
+  std::vector<models::VmHazardEstimator> site_hazards_;
 
   // IC belief (estimated standard seconds outstanding).
   cbs::util::FlatMap<std::uint64_t, double> believed_ic_jobs_;

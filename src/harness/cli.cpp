@@ -86,6 +86,15 @@ cbs::core::SchedulerKind parse_scheduler(const std::string& name) {
   throw std::runtime_error("unknown scheduler: " + name);
 }
 
+cbs::models::HazardPredictorKind parse_hazard_predictor(
+    const std::string& name) {
+  using cbs::models::HazardPredictorKind;
+  if (name == "off") return HazardPredictorKind::kOff;
+  if (name == "ewma") return HazardPredictorKind::kEwma;
+  if (name == "bayes") return HazardPredictorKind::kBayes;
+  throw std::runtime_error("unknown hazard predictor: " + name);
+}
+
 cbs::workload::SizeBucket parse_bucket(const std::string& name) {
   using cbs::workload::SizeBucket;
   if (name == "small") return SizeBucket::kSmallBiased;
@@ -102,6 +111,8 @@ const std::vector<std::string>& scenario_flags() {
       "seeds",     "threads",
       // Fault layer (simcore/fault_plan.hpp knobs).
       "ic-mtbf",   "ec-mtbf",     "vm-recovery", "retraction-factor",
+      // Proactive resilience (models/hazard.hpp, DESIGN.md §13).
+      "hazard-predictor", "drain-threshold", "drain-window", "risk-weight",
       // Model-predictive lookahead (harness/world.hpp).
       "horizon",   "candidates",
   };
@@ -148,6 +159,15 @@ Scenario scenario_from_args(const Args& args) {
       args.get_double_or("vm-recovery", s.faults.vm_recovery_seconds);
   s.faults.retraction_deadline_factor =
       args.get_double_or("retraction-factor", 0.0);
+
+  s.resilience.hazard.kind =
+      parse_hazard_predictor(args.get_or("hazard-predictor", "off"));
+  s.resilience.drain_threshold =
+      args.get_double_or("drain-threshold", s.resilience.drain_threshold);
+  s.resilience.drain_window_seconds =
+      args.get_double_or("drain-window", s.resilience.drain_window_seconds);
+  s.resilience.risk_weight =
+      args.get_double_or("risk-weight", s.resilience.risk_weight);
 
   s.lookahead_horizon_seconds =
       args.get_double_or("horizon", s.lookahead_horizon_seconds);

@@ -45,10 +45,18 @@ class Args {
 /// Parses a bucket name ("small", "uniform", "large"); throws otherwise.
 [[nodiscard]] cbs::workload::SizeBucket parse_bucket(const std::string& name);
 
+/// Parses a hazard-predictor name ("off", "ewma", "bayes"); throws
+/// otherwise.
+[[nodiscard]] cbs::models::HazardPredictorKind parse_hazard_predictor(
+    const std::string& name);
+
 /// Builds a Scenario from parsed flags. Recognized flags:
 ///   --scheduler --bucket --seed --batches --lambda --interval --high-var
 ///   --rescheduler --elastic --estimator (qrsm|oracle|per-class)
 ///   --tolerance --oo-interval --noise
+///   --ic-mtbf --ec-mtbf --vm-recovery --retraction-factor (fault layer)
+///   --hazard-predictor (off|ewma|bayes) --drain-threshold --drain-window
+///   --risk-weight (proactive resilience, DESIGN.md §13)
 ///   --horizon --candidates (model-predictive lookahead, harness/world.hpp)
 [[nodiscard]] Scenario scenario_from_args(const Args& args);
 

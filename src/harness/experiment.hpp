@@ -29,6 +29,32 @@ struct FaultStats {
   std::uint64_t probe_blackout_skips = 0;
   std::uint64_t crashes_injected = 0;  ///< plan-level crash events fired
   std::uint64_t outages = 0;           ///< merged outage windows entered
+
+  // Proactive resilience (all zero when the hazard predictor is off).
+  std::uint64_t drains = 0;             ///< pre-emptive drains applied
+  std::uint64_t undrains = 0;           ///< drains lifted (risk subsided)
+  std::uint64_t drain_preemptions = 0;  ///< checkpoint-restarts at drain time
+  std::uint64_t idle_crashes_absorbed = 0;  ///< crashes on drained idle VMs
+  /// Standard seconds preserved by checkpoint restarts — compute a crash
+  /// would have destroyed (the "wasted compute avoided" metric).
+  double checkpointed_compute_seconds = 0.0;
+  // Predictor quality (predicted-vs-actual crashes, IC + EC pooled).
+  std::uint64_t hazard_predictions = 0;
+  std::uint64_t hazard_true_positives = 0;
+  std::uint64_t hazard_false_positives = 0;
+  std::uint64_t hazard_false_negatives = 0;
+  [[nodiscard]] double hazard_precision() const noexcept {
+    const auto called = hazard_true_positives + hazard_false_positives;
+    return called == 0 ? 0.0
+                       : static_cast<double>(hazard_true_positives) /
+                             static_cast<double>(called);
+  }
+  [[nodiscard]] double hazard_recall() const noexcept {
+    const auto actual = hazard_true_positives + hazard_false_negatives;
+    return actual == 0 ? 0.0
+                       : static_cast<double>(hazard_true_positives) /
+                             static_cast<double>(actual);
+  }
 };
 
 /// Everything a bench or test needs from one finished run.

@@ -20,6 +20,7 @@ cbs::core::ControllerConfig Scenario::controller_config() const {
   cfg.estimator = estimator;
   cfg.enable_rescheduler = enable_rescheduler;
   if (faults.enabled()) cfg.faults = faults;
+  if (resilience.enabled()) cfg.resilience = resilience;
   cfg.log_threshold = log_threshold;
   cfg.log_sink = log_sink;
   return cfg;

@@ -40,6 +40,11 @@ struct Scenario {
   /// without the fault layer.
   cbs::sim::FaultConfig faults{};
 
+  /// Proactive failure resilience (models/hazard.hpp, DESIGN.md §13).
+  /// Default-constructed = predictor off; the run is then byte-identical
+  /// to one without the resilience layer.
+  cbs::core::ResilienceConfig resilience{};
+
   // QRSM factory prior: corpus size used for pretraining (0 disables).
   std::size_t pretrain_samples = 120;
 

@@ -194,6 +194,26 @@ RunResult ScenarioWorld::result() const {
     result.faults.crashes_injected = plan->crashes_injected();
     result.faults.outages = plan->outages_started();
   }
+  result.faults.drains =
+      controller.ic_cluster().drains() + controller.ec_cluster().drains();
+  result.faults.undrains =
+      controller.ic_cluster().undrains() + controller.ec_cluster().undrains();
+  result.faults.drain_preemptions = controller.ic_cluster().drain_preemptions() +
+                                    controller.ec_cluster().drain_preemptions();
+  result.faults.idle_crashes_absorbed =
+      controller.ic_cluster().idle_crashes_absorbed() +
+      controller.ec_cluster().idle_crashes_absorbed();
+  result.faults.checkpointed_compute_seconds =
+      controller.ic_cluster().checkpointed_standard_seconds() +
+      controller.ec_cluster().checkpointed_standard_seconds();
+  for (const auto* hazard : {controller.ic_hazard(), controller.ec_hazard()}) {
+    if (hazard == nullptr) continue;
+    const cbs::models::HazardPredictionStats& hs = hazard->stats();
+    result.faults.hazard_predictions += hs.predictions;
+    result.faults.hazard_true_positives += hs.true_positives;
+    result.faults.hazard_false_positives += hs.false_positives;
+    result.faults.hazard_false_negatives += hs.false_negatives;
+  }
 
   result.report = cbs::sla::build_report(
       std::string(cbs::core::to_string(scenario_.scheduler)),
@@ -278,7 +298,16 @@ double LookaheadController::score_world(const ScenarioWorld& world) const {
       world.controller().cost_inputs(), world.scenario().cost_rates);
   const double oo =
       ordered_output_mb(outcomes, world.scenario().oo_tolerance);
-  return lateness + unfinished + config_.seconds_per_dollar * cost.cloud_total() -
+  // Predicted-outage exposure: jobs the horizon-end belief still places on
+  // the EC are at risk of a predicted crash; price that as a fraction of
+  // the unfinished penalty. Zero exactly when the hazard predictor is off
+  // (ec_failure_risk() is 0), so the score is unchanged.
+  const double hazard_exposure =
+      config_.hazard_risk_weight * world.controller().ec_failure_risk() *
+      static_cast<double>(world.controller().outstanding_ec_jobs()) *
+      config_.unfinished_penalty_seconds;
+  return lateness + unfinished + hazard_exposure +
+         config_.seconds_per_dollar * cost.cloud_total() -
          config_.oo_weight_seconds_per_mb * oo;
 }
 

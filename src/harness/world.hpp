@@ -129,6 +129,11 @@ class LookaheadController {
     double seconds_per_dollar = 3600.0;
     /// Credit per MB of in-order output available at horizon end.
     double oo_weight_seconds_per_mb = 1.0;
+    /// Weight of the predicted-EC-outage term: each job the rolled-forward
+    /// world still believes on the EC is charged this fraction of the
+    /// unfinished penalty times the controller's predicted EC failure
+    /// risk. Exactly zero contribution when the hazard predictor is off.
+    double hazard_risk_weight = 1.0;
   };
 
   struct Decision {

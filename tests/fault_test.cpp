@@ -273,4 +273,93 @@ TEST(FaultScenarioTest, GreedyAlsoSurvivesFaults) {
   EXPECT_GT(r.outcomes.size(), 10u);
 }
 
+// ---- proactive resilience (hazard predictor on) -------------------------
+
+harness::Scenario hazard_scenario(std::uint64_t seed,
+                                  models::HazardPredictorKind kind) {
+  harness::Scenario s = faulted_scenario(seed);
+  s.resilience.hazard.kind = kind;
+  return s;
+}
+
+TEST(FaultScenarioTest, HazardPredictorPreservesConservation) {
+  // Surviving run_scenario IS the zero-lost-jobs check; on top of that the
+  // proactive machinery must actually engage under this fault load and the
+  // prediction scorecard must stay internally consistent.
+  const auto r = harness::run_scenario(
+      hazard_scenario(42, models::HazardPredictorKind::kEwma));
+  EXPECT_GT(r.outcomes.size(), 10u);
+  EXPECT_GT(r.faults.drains, 0u);
+  EXPECT_GT(r.faults.hazard_predictions, 0u);
+  // Every prediction resolves to TP or FP (or is still open at run end).
+  EXPECT_LE(r.faults.hazard_true_positives + r.faults.hazard_false_positives,
+            r.faults.hazard_predictions);
+  EXPECT_GE(r.faults.hazard_precision(), 0.0);
+  EXPECT_LE(r.faults.hazard_precision(), 1.0);
+  EXPECT_GE(r.faults.hazard_recall(), 0.0);
+  EXPECT_LE(r.faults.hazard_recall(), 1.0);
+}
+
+TEST(FaultScenarioTest, HazardPredictorOffIsInertWhateverTheKnobs) {
+  // kind == kOff must disable the whole resilience layer even when every
+  // other knob is set aggressively — the byte-identity contract of the
+  // default path rests on this.
+  harness::Scenario plain = faulted_scenario(42);
+  harness::Scenario off = plain;
+  off.resilience.hazard.kind = models::HazardPredictorKind::kOff;
+  off.resilience.drain_threshold = 0.0;
+  off.resilience.risk_weight = 100.0;
+  off.resilience.drain_window_seconds = 1.0e6;
+
+  const auto a = harness::run_scenario(plain);
+  const auto b = harness::run_scenario(off);
+  EXPECT_EQ(b.faults.drains, 0u);
+  EXPECT_EQ(b.faults.hazard_predictions, 0u);
+  EXPECT_EQ(a.report.makespan_seconds, b.report.makespan_seconds);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].completed, b.outcomes[i].completed);
+    EXPECT_EQ(a.outcomes[i].placement, b.outcomes[i].placement);
+  }
+}
+
+TEST(FaultScenarioTest, HazardRunsAreDeterministicAcrossThreadCounts) {
+  std::vector<harness::Scenario> scenarios;
+  for (const auto kind : {models::HazardPredictorKind::kEwma,
+                          models::HazardPredictorKind::kBayes}) {
+    scenarios.push_back(hazard_scenario(42, kind));
+    scenarios.push_back(hazard_scenario(7, kind));
+  }
+  const harness::ExperimentPlan plan =
+      harness::ExperimentPlan::list(scenarios);
+
+  const auto run_at = [&plan](std::size_t threads) {
+    harness::RunnerOptions opts;
+    opts.threads = threads;
+    return harness::run_plan(plan, opts);
+  };
+  const auto r1 = run_at(1);
+  const auto r2 = run_at(2);
+  const auto r8 = run_at(8);
+  ASSERT_EQ(r1.size(), r2.size());
+  ASSERT_EQ(r1.size(), r8.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    ASSERT_TRUE(r1[i].ok() && r2[i].ok() && r8[i].ok());
+    for (const auto* other : {&r2[i], &r8[i]}) {
+      EXPECT_EQ(r1[i].result->report.makespan_seconds,
+                other->result->report.makespan_seconds);
+      EXPECT_EQ(r1[i].result->events_processed,
+                other->result->events_processed);
+      EXPECT_EQ(r1[i].result->faults.drains, other->result->faults.drains);
+      EXPECT_EQ(r1[i].result->faults.hazard_predictions,
+                other->result->faults.hazard_predictions);
+      EXPECT_EQ(r1[i].result->faults.hazard_true_positives,
+                other->result->faults.hazard_true_positives);
+      EXPECT_EQ(r1[i].result->faults.checkpointed_compute_seconds,
+                other->result->faults.checkpointed_compute_seconds);
+    }
+  }
+}
+
 }  // namespace

@@ -46,6 +46,15 @@ Scenario fault_fixture() {
   return s;
 }
 
+/// The proactive-resilience fixture: the fault fixture with the hazard
+/// predictor on — drains, risk pricing and prediction bookkeeping all
+/// cross the fork.
+Scenario hazard_fixture(cbs::models::HazardPredictorKind kind) {
+  Scenario s = fault_fixture();
+  s.resilience.hazard.kind = kind;
+  return s;
+}
+
 /// Exact equality over everything a run reports. Doubles compared with ==
 /// on purpose: the fork contract is bit-replay, not approximation.
 void expect_identical(const RunResult& a, const RunResult& b) {
@@ -97,6 +106,16 @@ void expect_identical(const RunResult& a, const RunResult& b) {
   EXPECT_EQ(a.faults.probe_blackout_skips, b.faults.probe_blackout_skips);
   EXPECT_EQ(a.faults.crashes_injected, b.faults.crashes_injected);
   EXPECT_EQ(a.faults.outages, b.faults.outages);
+  EXPECT_EQ(a.faults.drains, b.faults.drains);
+  EXPECT_EQ(a.faults.undrains, b.faults.undrains);
+  EXPECT_EQ(a.faults.drain_preemptions, b.faults.drain_preemptions);
+  EXPECT_EQ(a.faults.idle_crashes_absorbed, b.faults.idle_crashes_absorbed);
+  EXPECT_EQ(a.faults.checkpointed_compute_seconds,
+            b.faults.checkpointed_compute_seconds);
+  EXPECT_EQ(a.faults.hazard_predictions, b.faults.hazard_predictions);
+  EXPECT_EQ(a.faults.hazard_true_positives, b.faults.hazard_true_positives);
+  EXPECT_EQ(a.faults.hazard_false_positives, b.faults.hazard_false_positives);
+  EXPECT_EQ(a.faults.hazard_false_negatives, b.faults.hazard_false_negatives);
 }
 
 TEST(ForkEquivalence, WorldMatchesLegacyRunScenario) {
@@ -139,6 +158,54 @@ TEST(ForkEquivalence, FaultFixtureForkMidRun) {
 TEST(ForkEquivalence, FaultFixtureForkLate) {
   const Scenario s = fault_fixture();
   expect_identical(run_scenario(s), run_scenario_via_fork(s, 700.0));
+}
+
+TEST(ForkEquivalence, HazardFixtureForkAtZero) {
+  const Scenario s = hazard_fixture(cbs::models::HazardPredictorKind::kEwma);
+  expect_identical(run_scenario(s), run_scenario_via_fork(s, 0.0));
+}
+
+TEST(ForkEquivalence, HazardFixtureForkMidRun) {
+  // 400 s is inside the outage and past the first EC crashes, so the fork
+  // copies live hazard state: non-prior rates, active drains, raised flags.
+  const Scenario s = hazard_fixture(cbs::models::HazardPredictorKind::kEwma);
+  expect_identical(run_scenario(s), run_scenario_via_fork(s, 400.0));
+}
+
+TEST(ForkEquivalence, HazardFixtureBayesForkLate) {
+  const Scenario s = hazard_fixture(cbs::models::HazardPredictorKind::kBayes);
+  expect_identical(run_scenario(s), run_scenario_via_fork(s, 700.0));
+}
+
+TEST(ForkEquivalence, HazardEstimatorStateIsCopiedExactly) {
+  // Beyond run-level equality: the estimator itself must clone
+  // byte-identically — per-machine failure counts, flags, rates and the
+  // prediction scorecard all equal across the fork boundary.
+  const Scenario s = hazard_fixture(cbs::models::HazardPredictorKind::kEwma);
+  ScenarioWorld parent(s);
+  parent.run_until(700.0);
+  std::unique_ptr<ScenarioWorld> forked = parent.fork();
+
+  for (const auto accessor :
+       {&cbs::core::CloudBurstController::ic_hazard,
+        &cbs::core::CloudBurstController::ec_hazard}) {
+    const auto* a = (parent.controller().*accessor)();
+    const auto* b = (forked->controller().*accessor)();
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    ASSERT_EQ(a->machine_count(), b->machine_count());
+    for (std::size_t m = 0; m < a->machine_count(); ++m) {
+      EXPECT_EQ(a->failures(m), b->failures(m));
+      EXPECT_EQ(a->flagged(m), b->flagged(m));
+      EXPECT_EQ(a->hazard_rate(m, 700.0), b->hazard_rate(m, 700.0));
+    }
+    EXPECT_EQ(a->stats().predictions, b->stats().predictions);
+    EXPECT_EQ(a->stats().true_positives, b->stats().true_positives);
+    EXPECT_EQ(a->stats().false_positives, b->stats().false_positives);
+    EXPECT_EQ(a->stats().false_negatives, b->stats().false_negatives);
+  }
+  EXPECT_EQ(parent.controller().ec_failure_risk(),
+            forked->controller().ec_failure_risk());
 }
 
 TEST(ForkEquivalence, ForkIsIndependentOfParent) {

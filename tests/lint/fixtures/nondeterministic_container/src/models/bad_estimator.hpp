@@ -1,0 +1,15 @@
+// Negative fixture: hash-ordered container in estimator state. Model
+// state (hazard, QRSM) is iterated and forked, so the
+// [nondeterministic-container] rule must fire in src/models/ too.
+#pragma once
+
+#include <cstddef>
+#include <unordered_set>
+
+namespace cbs::models {
+
+struct BadEstimator {
+  std::unordered_set<std::size_t> flagged_machines;
+};
+
+}  // namespace cbs::models

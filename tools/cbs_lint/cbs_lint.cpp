@@ -262,6 +262,12 @@ bool in_engine_layers(const std::string& rel) {
   return path_starts_with(rel, "src/simcore/") ||
          path_starts_with(rel, "src/core/");
 }
+/// The container-determinism rule also covers src/models/: estimator state
+/// (QRSM, hazard) is iterated when scoring and cloned across forks, so it
+/// must be deterministic-order just like engine state.
+bool in_deterministic_state_layers(const std::string& rel) {
+  return in_engine_layers(rel) || path_starts_with(rel, "src/models/");
+}
 bool in_src_outside_harness(const std::string& rel) {
   return path_starts_with(rel, "src/") &&
          !path_starts_with(rel, "src/harness/");
@@ -328,10 +334,10 @@ bool has_component_pointer(const std::string& code) {
 const std::vector<Rule>& rules() {
   static const std::vector<Rule> kRules = {
       {"nondeterministic-container", "nondeterministic",
-       "hash-ordered container in sim state: simcore/core iterate their "
-       "tables, so only deterministic-order containers (FlatMap, std::map, "
-       "vector) are allowed",
-       in_engine_layers,
+       "hash-ordered container in sim state: simcore/core/models iterate "
+       "their tables, so only deterministic-order containers (FlatMap, "
+       "std::map, vector) are allowed",
+       in_deterministic_state_layers,
        [](const std::string& code) {
          return has_token(code, "unordered_map") ||
                 has_token(code, "unordered_set") ||
