@@ -220,7 +220,7 @@ void BM_LinkAllocationStorm(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_LinkAllocationStorm)->Arg(64)->Arg(256);
+BENCHMARK(BM_LinkAllocationStorm)->Arg(64)->Arg(256)->Arg(1024);
 
 void BM_ChunkerSplit(benchmark::State& state) {
   cbs::sim::RngStream rng(9);

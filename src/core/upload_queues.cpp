@@ -20,6 +20,11 @@ TransferQueueSet::TransferQueueSet(cbs::sim::Simulation& sim,
       [this](std::uint64_t tag, const cbs::net::TransferRecord& rec) {
         on_link_complete(tag, rec);
       });
+  // The slot policy bounds this set's concurrent transfers, so the link's
+  // SoA pool can be sized once up front (shared links take the max).
+  link_.reserve_transfers(
+      static_cast<std::size_t>(num_classes) *
+      static_cast<std::size_t>(slots_per_class));
 }
 
 TransferQueueSet::TransferQueueSet(cbs::sim::Simulation& dst,

@@ -21,6 +21,11 @@ namespace cbs::core {
 /// Ride-up policy (§IV.C): when a class's slot frees and its own queue is
 /// empty, it serves the head of the nearest *lower* class — small jobs may
 /// use the medium/large pipes, large jobs may never block the small pipe.
+///
+/// The set holds at most `num_classes × slots_per_class` transfers in
+/// flight on the link, and tells the link so at construction
+/// (Link::reserve_transfers) — the link's hot/cold transfer tables then
+/// never reallocate in steady state.
 class TransferQueueSet {
  public:
   /// Fired when a job's transfer completes; `klass` is the queue class the

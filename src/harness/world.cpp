@@ -91,6 +91,15 @@ ScenarioWorld::ScenarioWorld(const Scenario& scenario)
                                               root.substream("arrivals"));
   batches_ = arrivals.generate_all();
 
+  // Pre-size the event slab: all batch-arrival events are pending at once,
+  // plus a working set of per-job events for roughly two batches in flight
+  // (jobs overlap at the batch boundary, not across the whole horizon).
+  std::size_t max_batch_jobs = 0;
+  for (const auto& b : batches_) {
+    max_batch_jobs = std::max(max_batch_jobs, b.documents.size());
+  }
+  sim_.reserve_events(batches_.size() + 4 * max_batch_jobs + 64);
+
   batch_events_.reserve(batches_.size());
   for (std::size_t i = 0; i < batches_.size(); ++i) {
     batch_events_.push_back(sim_.schedule_at(

@@ -11,6 +11,78 @@ namespace cbs::net {
 
 using cbs::sim::SimTime;
 
+// --- HotPool: the SoA allocation arrays --------------------------------
+
+std::size_t Link::HotPool::lower_bound(double d, TransferId t) const noexcept {
+  std::size_t lo = 0;
+  std::size_t hi = id.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (demand[mid] < d || (demand[mid] == d && id[mid] < t)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::size_t Link::HotPool::find(double d, TransferId t) const noexcept {
+  const std::size_t pos = lower_bound(d, t);
+  return (pos < id.size() && id[pos] == t) ? pos : npos;
+}
+
+void Link::HotPool::insert(std::size_t pos, TransferId t, double d,
+                           double remaining, double fail_below_remaining,
+                           SimTime now) {
+  id.insert(id.begin() + static_cast<std::ptrdiff_t>(pos), t);
+  demand.insert(demand.begin() + static_cast<std::ptrdiff_t>(pos), d);
+  rate.insert(rate.begin() + static_cast<std::ptrdiff_t>(pos), 0.0);
+  bytes_remaining.insert(
+      bytes_remaining.begin() + static_cast<std::ptrdiff_t>(pos), remaining);
+  last_progress.insert(last_progress.begin() + static_cast<std::ptrdiff_t>(pos),
+                       now);
+  fail_below.insert(fail_below.begin() + static_cast<std::ptrdiff_t>(pos),
+                    fail_below_remaining);
+  completion_time.insert(
+      completion_time.begin() + static_cast<std::ptrdiff_t>(pos),
+      cbs::sim::kTimeInfinity);
+}
+
+void Link::HotPool::erase(std::size_t pos) {
+  id.erase(id.begin() + static_cast<std::ptrdiff_t>(pos));
+  demand.erase(demand.begin() + static_cast<std::ptrdiff_t>(pos));
+  rate.erase(rate.begin() + static_cast<std::ptrdiff_t>(pos));
+  bytes_remaining.erase(bytes_remaining.begin() +
+                        static_cast<std::ptrdiff_t>(pos));
+  last_progress.erase(last_progress.begin() + static_cast<std::ptrdiff_t>(pos));
+  fail_below.erase(fail_below.begin() + static_cast<std::ptrdiff_t>(pos));
+  completion_time.erase(completion_time.begin() +
+                        static_cast<std::ptrdiff_t>(pos));
+}
+
+void Link::HotPool::clear() noexcept {
+  id.clear();
+  demand.clear();
+  rate.clear();
+  bytes_remaining.clear();
+  last_progress.clear();
+  fail_below.clear();
+  completion_time.clear();
+}
+
+void Link::HotPool::reserve(std::size_t n) {
+  id.reserve(n);
+  demand.reserve(n);
+  rate.reserve(n);
+  bytes_remaining.reserve(n);
+  last_progress.reserve(n);
+  fail_below.reserve(n);
+  completion_time.reserve(n);
+}
+
+// --- Link --------------------------------------------------------------
+
 Link::Link(cbs::sim::Simulation& sim, LinkConfig config, cbs::sim::RngStream rng)
     : sim_(sim),
       config_(std::move(config)),
@@ -41,19 +113,27 @@ Link::Link(cbs::sim::Simulation& dst, const Link& src)
       outage_aborts_(src.outage_aborts_),
       wasted_bytes_(src.wasted_bytes_),
       outage_(src.outage_),
-      active_(src.active_),
+      hot_(src.hot_),
+      cold_(src.cold_),
       completed_(src.completed_),
       next_id_(src.next_id_),
       bytes_delivered_(src.bytes_delivered_),
+      dirty_(src.dirty_),
+      last_pass_time_(src.last_pass_time_),
+      last_pass_capacity_(src.last_pass_capacity_),
+      next_completion_(src.next_completion_),
+      timer_armed_(src.timer_armed_),
+      timer_event_(src.timer_event_),
       tick_scheduled_(src.tick_scheduled_),
       tick_event_(src.tick_event_),
       capacity_history_(src.capacity_history_),
+      capacity_min_interval_(src.capacity_min_interval_),
       busy_accum_(src.busy_accum_),
       busy_since_(src.busy_since_),
       busy_(src.busy_) {
 #ifndef NDEBUG
-  for (const auto& [id, a] : active_) {
-    assert(a.handler_slot >= 0 &&
+  for (const auto& [id, c] : cold_) {
+    assert(c.handler_slot >= 0 &&
            "closure-based transfers cannot cross a fork");
   }
 #endif
@@ -66,52 +146,56 @@ int Link::register_handler(TaggedHandler handler) {
 }
 
 void Link::rebuild_events(cbs::sim::SnapshotContext& ctx) {
-  for (auto& [id, a] : active_) {
+  for (auto& [id, c] : cold_) {
     const TransferId tid = id;
-    a.activation_event =
-        ctx.restore(a.activation_event, [this, tid] { activate(tid); });
-    a.completion_event =
-        ctx.restore(a.completion_event, [this, tid] { complete(tid); });
+    c.activation_event =
+        ctx.restore(c.activation_event, [this, tid] { activate(tid); });
   }
+  timer_event_ = ctx.restore(timer_event_, [this] { on_timer(); });
   tick_event_ = ctx.restore(tick_event_, [this] { on_tick(); });
+  assert(!timer_armed_ || timer_event_ != cbs::sim::EventId{});
   assert(!tick_scheduled_ || tick_event_ != cbs::sim::EventId{});
 }
 
+void Link::reserve_transfers(std::size_t expected) {
+  hot_.reserve(expected);
+  cold_.reserve(expected);
+}
+
 TransferId Link::submit(double bytes, int threads, CompletionHandler on_complete) {
-  Active a;
-  a.on_complete = std::move(on_complete);
-  return submit_impl(bytes, threads, std::move(a));
+  Cold c;
+  c.on_complete = std::move(on_complete);
+  return submit_impl(bytes, threads, std::move(c));
 }
 
 TransferId Link::submit(double bytes, int threads, int handler_slot,
                         std::uint64_t tag) {
   assert(handler_slot >= 0 &&
          handler_slot < static_cast<int>(handlers_.size()));
-  Active a;
-  a.handler_slot = handler_slot;
-  a.tag = tag;
-  return submit_impl(bytes, threads, std::move(a));
+  Cold c;
+  c.handler_slot = handler_slot;
+  c.tag = tag;
+  return submit_impl(bytes, threads, std::move(c));
 }
 
-TransferId Link::submit_impl(double bytes, int threads, Active a) {
+TransferId Link::submit_impl(double bytes, int threads, Cold c) {
   assert(bytes > 0.0);
   assert(threads >= 1);
   const TransferId id = next_id_++;
-  a.bytes_total = bytes;
-  a.bytes_remaining = bytes;
-  a.threads = threads;
-  a.requested = sim_.now();
-  active_.emplace(id, std::move(a));
+  c.bytes_total = bytes;
+  c.threads = threads;
+  c.requested = sim_.now();
+  cold_.emplace(id, std::move(c));
   schedule_activation(id, config_.setup_latency);
   return id;
 }
 
 void Link::schedule_activation(TransferId id, cbs::sim::SimDuration delay) {
-  active_.at(id).activation_event =
+  cold_.at(id).activation_event =
       sim_.schedule_in(delay, [this, id] { activate(id); });
 }
 
-void Link::arm_failure(Active& transfer) {
+void Link::arm_failure(Cold& transfer) {
   transfer.fail_below_remaining = 0.0;
   if (config_.failure_probability <= 0.0 ||
       transfer.retries >= config_.max_retries) {
@@ -125,134 +209,209 @@ void Link::arm_failure(Active& transfer) {
 }
 
 void Link::activate(TransferId id) {
-  auto it = active_.find(id);
-  assert(it != active_.end());
+  auto it = cold_.find(id);
+  assert(it != cold_.end());
   if (outage_) {
     // The link is down: hold the connection attempt until the outage
     // lifts (set_outage(false) reactivates every waiting transfer).
     it->second.waiting_outage = true;
     return;
   }
-  it->second.activated = true;
-  if (it->second.started == 0.0) it->second.started = sim_.now();
-  it->second.last_progress = sim_.now();
-  arm_failure(it->second);
+  Cold& c = it->second;
+  c.activated = true;
+  if (c.started == 0.0) c.started = sim_.now();
+  arm_failure(c);
   note_busy_transition();
   progress_all();
-  reallocate();
+  // progress_all() mutates only the hot pool and the event queue, never
+  // cold_'s structure, so `c` is still valid here.
+  const double d = demand_of(c);
+  hot_.insert(hot_.lower_bound(d, id), id, d, c.bytes_total,
+              c.fail_below_remaining, sim_.now());
+  dirty_ = true;
+  flush();
   ensure_tick();
 }
 
 void Link::progress_all() {
   const SimTime now = sim_.now();
-  for (auto& [id, a] : active_) {
-    if (!a.activated) continue;  // still in connection setup
-    a.bytes_remaining =
-        std::max(0.0, a.bytes_remaining - a.rate * (now - a.last_progress));
-    a.last_progress = now;
-    if (a.fail_below_remaining > 0.0 &&
-        a.bytes_remaining <= a.fail_below_remaining &&
-        a.bytes_remaining > 0.0) {
-      // Connection drop: everything transferred so far is lost; the client
-      // reconnects (fresh setup latency) and restarts from byte zero.
-      ++injected_failures_;
-      ++a.retries;
-      wasted_bytes_ += a.bytes_total - a.bytes_remaining;
-      a.bytes_remaining = a.bytes_total;
-      a.fail_below_remaining = 0.0;
-      a.activated = false;
-      a.rate = 0.0;
-      sim_.cancel(a.completion_event);
-      schedule_activation(id, config_.setup_latency);
+  const std::size_t n = hot_.size();
+  // Every pool entry is activated by construction — transfers still in
+  // connection setup never enter the hot arrays, so there is nothing to
+  // skip. Integration is per-transfer arithmetic with no side effects, so
+  // streaming in demand order is bit-identical to the old id-order walk.
+  std::size_t crossings = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    hot_.bytes_remaining[i] = std::max(
+        0.0, hot_.bytes_remaining[i] -
+                 hot_.rate[i] * (now - hot_.last_progress[i]));
+    hot_.last_progress[i] = now;
+    if (hot_.fail_below[i] > 0.0 &&
+        hot_.bytes_remaining[i] <= hot_.fail_below[i] &&
+        hot_.bytes_remaining[i] > 0.0) {
+      ++crossings;
     }
+  }
+  if (crossings == 0) return;
+
+  // Connection drops: everything transferred so far is lost; the client
+  // reconnects (fresh setup latency) and restarts from byte zero. The
+  // resets run in ascending *id* order — the order the AoS walk produced —
+  // because the wasted-bytes accumulation and the reconnect-event sequence
+  // are observable (FP sum order, event FIFO ties).
+  std::vector<TransferId> crossed;
+  crossed.reserve(crossings);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (hot_.fail_below[i] > 0.0 &&
+        hot_.bytes_remaining[i] <= hot_.fail_below[i] &&
+        hot_.bytes_remaining[i] > 0.0) {
+      crossed.push_back(hot_.id[i]);
+    }
+  }
+  std::sort(crossed.begin(), crossed.end());
+  for (const TransferId id : crossed) {
+    Cold& c = cold_.at(id);
+    const std::size_t pos = hot_.find(demand_of(c), id);
+    assert(pos != HotPool::npos);
+    ++injected_failures_;
+    ++c.retries;
+    wasted_bytes_ += c.bytes_total - hot_.bytes_remaining[pos];
+    c.fail_below_remaining = 0.0;
+    c.activated = false;
+    hot_.erase(pos);
+    dirty_ = true;
+    schedule_activation(id, config_.setup_latency);
   }
 }
 
-void Link::reallocate() {
-  const double capacity = true_capacity_now();
-  capacity_history_.add(sim_.now(), capacity);
-
-  // Collect activated transfers (setup finished) in deterministic id order.
-  std::vector<std::pair<TransferId, Active*>> live;
-  live.reserve(active_.size());
-  for (auto& [id, a] : active_) {
-    if (a.activated) live.emplace_back(id, &a);
+void Link::record_capacity(SimTime now, double capacity) {
+  if (!capacity_history_.empty() && capacity_min_interval_ > 0.0 &&
+      now - capacity_history_.back().time < capacity_min_interval_) {
+    return;
   }
+  capacity_history_.add(now, capacity);
+  if (capacity_history_.size() >= kCapacityHistoryMax) {
+    capacity_history_.decimate_half();
+    const double span =
+        capacity_history_.back().time - capacity_history_.at(0).time;
+    capacity_min_interval_ = std::max(
+        2.0 * capacity_min_interval_,
+        span / static_cast<double>(kCapacityHistoryMax / 2));
+  }
+}
+
+void Link::run_pass() {
+  const double capacity = true_capacity_now();
+  const SimTime now = sim_.now();
+  record_capacity(now, capacity);
+  last_pass_capacity_ = capacity;
 
   // Progressive water-filling by ascending demand: transfers whose thread
   // demand is below the fair share keep their demand; the slack is shared
-  // among the rest.
-  std::vector<std::size_t> order(live.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
-    const double dx = live[x].second->threads * config_.per_connection_cap;
-    const double dy = live[y].second->threads * config_.per_connection_cap;
-    if (dx != dy) return dx < dy;
-    return live[x].first < live[y].first;  // deterministic tie-break
-  });
-
+  // among the rest. The hot arrays are already in (demand, id) order, so
+  // this is one forward stream — no sort, no gather.
+  const std::size_t n = hot_.size();
   double remaining_capacity = capacity;
-  std::size_t remaining_count = live.size();
-  for (std::size_t idx : order) {
-    Active& a = *live[idx].second;
-    const double demand = a.threads * config_.per_connection_cap;
-    const double fair_share = remaining_capacity / static_cast<double>(remaining_count);
-    a.rate = std::min(demand, fair_share);
-    remaining_capacity -= a.rate;
+  std::size_t remaining_count = n;
+  SimTime next = cbs::sim::kTimeInfinity;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double fair_share =
+        remaining_capacity / static_cast<double>(remaining_count);
+    const double rate = std::min(hot_.demand[i], fair_share);
+    hot_.rate[i] = rate;
+    remaining_capacity -= rate;
     --remaining_count;
-  }
-
-  // Reschedule completion events. A transfer armed with a connection-drop
-  // threshold fires its event at the crossing instead (progress_all then
-  // performs the reset and complete() backs off).
-  for (auto& [id, a] : live) {
-    sim_.cancel(a->completion_event);
-    if (a->rate > 0.0) {
-      double eta = a->bytes_remaining / a->rate;
-      if (a->fail_below_remaining > 0.0 &&
-          a->bytes_remaining > a->fail_below_remaining) {
+    // Completion ETA. A transfer armed with a connection-drop threshold
+    // fires the timer at the crossing instead (progress_all() then
+    // performs the reset and on_timer() finds no completion due).
+    SimTime done = cbs::sim::kTimeInfinity;
+    if (rate > 0.0) {
+      double eta = hot_.bytes_remaining[i] / rate;
+      if (hot_.fail_below[i] > 0.0 &&
+          hot_.bytes_remaining[i] > hot_.fail_below[i]) {
         eta = std::min(
-            eta, (a->bytes_remaining - a->fail_below_remaining) / a->rate +
+            eta, (hot_.bytes_remaining[i] - hot_.fail_below[i]) / rate +
                      1.0e-6);
       }
-      const TransferId tid = id;
-      a->completion_event = sim_.schedule_in(eta, [this, tid] { complete(tid); });
+      done = now + eta;
     }
+    hot_.completion_time[i] = done;
+    next = std::min(next, done);
+  }
+  next_completion_ = next;
+  dirty_ = false;
+  last_pass_time_ = now;
+}
+
+void Link::flush() {
+  if (dirty_ || last_pass_time_ != sim_.now()) run_pass();
+  // Unconditionally re-arm the completion timer, even when the pass was
+  // skipped: the old design rescheduled every completion event here, so
+  // the timer must take a fresh event seq to keep same-timestamp FIFO
+  // ordering against events other components scheduled in between.
+  if (timer_armed_) {
+    sim_.cancel(timer_event_);
+    timer_armed_ = false;
+    timer_event_ = cbs::sim::EventId{};
+  }
+  if (next_completion_ != cbs::sim::kTimeInfinity) {
+    timer_event_ = sim_.schedule_at(next_completion_, [this] { on_timer(); });
+    timer_armed_ = true;
   }
 }
 
-void Link::complete(TransferId id) {
-  auto it = active_.find(id);
-  if (it == active_.end()) return;  // stale event (should be cancelled, but be safe)
+void Link::on_timer() {
+  timer_armed_ = false;
+  timer_event_ = cbs::sim::EventId{};
+  assert(!hot_.empty());
+  if (hot_.empty()) return;
   progress_all();
-  Active& a = it->second;
-  if (!a.activated) {
-    // progress_all() injected a connection drop for this very transfer; it
-    // is re-establishing its connection, so only rebalance the survivors.
-    reallocate();
+  const SimTime now = sim_.now();
+  // The due completion: smallest id whose ETA is bit-equal to now (the
+  // timer was armed at exactly that stored value). Ties fire one per timer
+  // round-trip, ascending id — the order the per-transfer events fired in,
+  // since they were scheduled in id order by the last reallocation.
+  std::size_t due = HotPool::npos;
+  for (std::size_t i = 0; i < hot_.size(); ++i) {
+    if (hot_.completion_time[i] == now &&
+        (due == HotPool::npos || hot_.id[i] < hot_.id[due])) {
+      due = i;
+    }
+  }
+  if (due == HotPool::npos) {
+    // progress_all() injected a connection drop for the transfer this
+    // timer targeted; it is re-establishing its connection, so only
+    // rebalance the survivors.
+    flush();
     return;
   }
+  const TransferId id = hot_.id[due];
+  auto it = cold_.find(id);
+  assert(it != cold_.end());
+  Cold& c = it->second;
   // Floating-point progress integration can leave a few bytes of dust; the
-  // completion event was scheduled from the same arithmetic, so anything
-  // left here is rounding noise.
-  assert(a.bytes_remaining < 1e-3 * std::max(1.0, a.bytes_total));
+  // timer was armed from the same arithmetic, so anything left here is
+  // rounding noise.
+  assert(hot_.bytes_remaining[due] < 1e-3 * std::max(1.0, c.bytes_total));
   TransferRecord rec;
   rec.id = id;
-  rec.bytes = a.bytes_total;
-  rec.threads = a.threads;
-  rec.retries = a.retries;
-  rec.requested = a.requested;
-  rec.started = a.started;
-  rec.completed = sim_.now();
-  bytes_delivered_ += a.bytes_total;
-  CompletionHandler handler = std::move(a.on_complete);
-  const int handler_slot = a.handler_slot;
-  const std::uint64_t tag = a.tag;
-  active_.erase(it);
+  rec.bytes = c.bytes_total;
+  rec.threads = c.threads;
+  rec.retries = c.retries;
+  rec.requested = c.requested;
+  rec.started = c.started;
+  rec.completed = now;
+  bytes_delivered_ += c.bytes_total;
+  CompletionHandler handler = std::move(c.on_complete);
+  const int handler_slot = c.handler_slot;
+  const std::uint64_t tag = c.tag;
+  hot_.erase(due);
+  dirty_ = true;
+  cold_.erase(it);
   completed_.push_back(rec);
   note_busy_transition();
-  reallocate();
-  if (active_.empty() && tick_scheduled_) {
+  flush();
+  if (cold_.empty() && tick_scheduled_) {
     // No work left: drop the pending tick so the simulation can drain.
     sim_.cancel(tick_event_);
     tick_scheduled_ = false;
@@ -265,17 +424,22 @@ void Link::complete(TransferId id) {
 }
 
 bool Link::cancel(TransferId id) {
-  auto it = active_.find(id);
-  if (it == active_.end()) return false;
+  auto it = cold_.find(id);
+  if (it == cold_.end()) return false;
   progress_all();
-  Active& a = it->second;
-  sim_.cancel(a.completion_event);
-  sim_.cancel(a.activation_event);
-  if (a.activated) wasted_bytes_ += a.bytes_total - a.bytes_remaining;
-  active_.erase(it);
+  Cold& c = it->second;
+  sim_.cancel(c.activation_event);
+  if (c.activated) {
+    const std::size_t pos = hot_.find(demand_of(c), id);
+    assert(pos != HotPool::npos);
+    wasted_bytes_ += c.bytes_total - hot_.bytes_remaining[pos];
+    hot_.erase(pos);
+    dirty_ = true;
+  }
+  cold_.erase(it);
   note_busy_transition();
-  reallocate();
-  if (active_.empty() && tick_scheduled_) {
+  flush();
+  if (cold_.empty() && tick_scheduled_) {
     sim_.cancel(tick_event_);
     tick_scheduled_ = false;
   }
@@ -290,28 +454,39 @@ void Link::set_outage(bool down) {
     // are parked by activate() when their event fires.
     progress_all();
     outage_ = true;
-    for (auto& [id, a] : active_) {
-      if (!a.activated) continue;
-      sim_.cancel(a.completion_event);
-      wasted_bytes_ += a.bytes_total - a.bytes_remaining;
+    for (auto& [id, c] : cold_) {
+      if (!c.activated) continue;
+      const std::size_t pos = hot_.find(demand_of(c), id);
+      assert(pos != HotPool::npos);
+      wasted_bytes_ += c.bytes_total - hot_.bytes_remaining[pos];
       ++outage_aborts_;
-      ++a.outage_aborts;
-      a.bytes_remaining = a.bytes_total;
-      a.fail_below_remaining = 0.0;
-      a.activated = false;
-      a.rate = 0.0;
-      a.waiting_outage = true;
+      ++c.outage_aborts;
+      c.fail_below_remaining = 0.0;
+      c.activated = false;
+      c.waiting_outage = true;
+      hot_.erase(pos);
+    }
+    assert(hot_.empty());
+    dirty_ = true;
+    next_completion_ = cbs::sim::kTimeInfinity;
+    // The old design cancelled every severed completion event; the single
+    // timer is their stand-in. A stale timer would also keep the run from
+    // draining.
+    if (timer_armed_) {
+      sim_.cancel(timer_event_);
+      timer_armed_ = false;
+      timer_event_ = cbs::sim::EventId{};
     }
     return;
   }
   outage_ = false;
-  for (auto& [id, a] : active_) {
-    if (!a.waiting_outage) continue;
-    a.waiting_outage = false;
+  for (auto& [id, c] : cold_) {
+    if (!c.waiting_outage) continue;
+    c.waiting_outage = false;
     double backoff = 0.0;
-    if (a.outage_aborts > 0) {
+    if (c.outage_aborts > 0) {
       backoff = config_.outage_backoff_base;
-      for (int i = 1; i < a.outage_aborts; ++i) {
+      for (int i = 1; i < c.outage_aborts; ++i) {
         backoff *= config_.outage_backoff_multiplier;
       }
       backoff = std::min(backoff, config_.outage_max_backoff);
@@ -321,21 +496,21 @@ void Link::set_outage(bool down) {
 }
 
 void Link::ensure_tick() {
-  if (tick_scheduled_ || active_.empty()) return;
+  if (tick_scheduled_ || cold_.empty()) return;
   tick_scheduled_ = true;
   tick_event_ = sim_.schedule_in(config_.noise_step, [this] { on_tick(); });
 }
 
 void Link::on_tick() {
   tick_scheduled_ = false;
-  if (active_.empty()) return;
+  if (cold_.empty()) return;
   progress_all();
-  reallocate();
+  flush();
   ensure_tick();
 }
 
 void Link::note_busy_transition() {
-  const bool now_busy = !active_.empty();
+  const bool now_busy = !cold_.empty();
   if (now_busy && !busy_) {
     busy_since_ = sim_.now();
     busy_ = true;
@@ -347,6 +522,18 @@ void Link::note_busy_transition() {
 
 double Link::busy_time() const {
   return busy_accum_ + (busy_ ? sim_.now() - busy_since_ : 0.0);
+}
+
+std::vector<Link::RateSample> Link::current_rates() const {
+  std::vector<RateSample> out;
+  out.reserve(hot_.size());
+  for (const auto& [id, c] : cold_) {
+    if (!c.activated) continue;
+    const std::size_t pos = hot_.find(c.threads * config_.per_connection_cap, id);
+    assert(pos != HotPool::npos);
+    out.push_back(RateSample{id, c.threads, hot_.rate[pos]});
+  }
+  return out;
 }
 
 }  // namespace cbs::net

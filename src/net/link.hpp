@@ -2,7 +2,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -11,6 +10,7 @@
 #include "simcore/rng.hpp"
 #include "simcore/simulation.hpp"
 #include "stats/timeseries.hpp"
+#include "util/flat_map.hpp"
 
 namespace cbs::sim {
 class SnapshotContext;
@@ -88,7 +88,21 @@ struct TransferRecord {
 ///    so a transfer never receives more than its thread demand — this is
 ///    exactly why single-threaded transfers cannot saturate the pipe;
 ///  * on every transfer start/finish and on a periodic tick (noise grid),
-///    rates are recomputed and completion events rescheduled.
+///    rates are recomputed and the completion timer rescheduled.
+///
+/// ## Data-oriented core (DESIGN.md §14)
+///
+/// The allocation state is split hot/cold. Activated transfers live in a
+/// SoA pool (`HotPool`) kept sorted by (demand, id) — the exact order the
+/// water-filling pass consumes — so a reallocation streams contiguous
+/// arrays with no per-pass sort and no pointer chasing. Cold bookkeeping
+/// (handlers, retry counters, timestamps) sits in a `FlatMap` keyed by the
+/// monotonically increasing `TransferId`, which doubles as the generation
+/// check: ids are never reused, so a stale id can never alias a later
+/// transfer. Membership changes only mark the link dirty; `flush()` runs a
+/// single water-filling pass per event timestamp and re-arms ONE per-link
+/// completion timer at the minimum ETA — O(1) event-queue traffic per
+/// allocation instead of N cancels + N schedules.
 ///
 /// The model conserves bytes exactly (see LinkTest.ConservesBytes) and is
 /// fully deterministic given the seed.
@@ -107,7 +121,7 @@ class Link {
   /// active transfers, accounting) into a link bound to `dst`. Handlers are
   /// NOT copied — each owner must call register_handler() on the clone in
   /// the same order as on the source (slot indices must line up), then
-  /// rebuild_events() re-schedules the pending activation/completion/tick
+  /// rebuild_events() re-schedules the pending activation/timer/tick
   /// events. Precondition: every in-flight transfer uses a registered
   /// handler slot (closure-based submissions cannot cross a fork).
   Link(cbs::sim::Simulation& dst, const Link& src);
@@ -119,6 +133,10 @@ class Link {
 
   /// Re-schedules pending events after a fork (see the clone constructor).
   void rebuild_events(cbs::sim::SnapshotContext& ctx);
+
+  /// Pre-sizes the transfer tables for `expected` concurrent transfers.
+  /// Purely a performance hint; growth past it still works.
+  void reserve_transfers(std::size_t expected);
 
   /// Starts a transfer of `bytes` using `threads` parallel connections;
   /// `on_complete` fires (as a simulation event) when the last byte lands.
@@ -151,14 +169,17 @@ class Link {
   /// must not call this — they see only BandwidthEstimator).
   [[nodiscard]] double true_capacity_now();
 
-  [[nodiscard]] std::size_t active_transfers() const noexcept { return active_.size(); }
+  [[nodiscard]] std::size_t active_transfers() const noexcept { return cold_.size(); }
   [[nodiscard]] double total_bytes_delivered() const noexcept { return bytes_delivered_; }
   [[nodiscard]] const std::vector<TransferRecord>& completed() const noexcept {
     return completed_;
   }
   /// Total time during which at least one transfer was active.
   [[nodiscard]] double busy_time() const;
-  /// Capacity samples recorded at every allocation event (for Fig. 4a).
+  /// Capacity samples recorded at allocation events (for Fig. 4a). Bounded:
+  /// once kCapacityHistoryMax samples accumulate the series is decimated
+  /// 2:1 and the minimum recording interval doubles, so arbitrarily long
+  /// runs keep O(1) memory here.
   [[nodiscard]] const cbs::stats::TimeSeries& capacity_history() const noexcept {
     return capacity_history_;
   }
@@ -176,37 +197,89 @@ class Link {
   [[nodiscard]] double wasted_bytes() const noexcept { return wasted_bytes_; }
   [[nodiscard]] const LinkConfig& config() const noexcept { return config_; }
 
- private:
-  struct Active {
-    double bytes_total = 0.0;
-    double bytes_remaining = 0.0;
+  // --- Allocation introspection (tests / diagnostics) -------------------
+
+  /// One activated transfer's share of the pipe.
+  struct RateSample {
+    TransferId id = 0;
     int threads = 1;
     double rate = 0.0;
+  };
+  /// Current rate of every *activated* transfer, ascending id order.
+  [[nodiscard]] std::vector<RateSample> current_rates() const;
+  /// Capacity the most recent water-filling pass distributed.
+  [[nodiscard]] double last_allocation_capacity() const noexcept {
+    return last_pass_capacity_;
+  }
+
+ private:
+  /// Cold per-transfer bookkeeping: everything the water-filling pass does
+  /// NOT touch. Keyed by id in `cold_` (ascending-id iteration keeps every
+  /// side-effect order identical to the historical std::map design).
+  struct Cold {
+    double bytes_total = 0.0;
+    int threads = 1;
     bool activated = false;  ///< setup latency elapsed; data is flowing
     bool waiting_outage = false;  ///< aborted; reconnects when outage lifts
     int retries = 0;
     int outage_aborts = 0;  ///< outage severances (drives reconnect backoff)
     /// When > 0: the transfer drops its connection once bytes_remaining
-    /// falls below this threshold, and restarts from scratch.
+    /// falls below this threshold, and restarts from scratch. Staged here
+    /// by arm_failure(); the live copy rides in the hot pool.
     double fail_below_remaining = 0.0;
-    cbs::sim::SimTime last_progress = 0.0;
     cbs::sim::SimTime requested = 0.0;
     cbs::sim::SimTime started = 0.0;
-    cbs::sim::EventId completion_event{};
     cbs::sim::EventId activation_event{};
     CompletionHandler on_complete;   ///< closure form (non-forkable)
     int handler_slot = -1;           ///< registered form; -1 = closure form
     std::uint64_t tag = 0;
   };
 
-  TransferId submit_impl(double bytes, int threads, Active a);
+  /// SoA pool of activated transfers, sorted by (demand, id) — insertion
+  /// keeps the order, so no pass ever sorts. All fields of index i belong
+  /// to transfer id[i].
+  struct HotPool {
+    std::vector<TransferId> id;
+    std::vector<double> demand;  ///< threads × per_connection_cap
+    std::vector<double> rate;
+    std::vector<double> bytes_remaining;
+    std::vector<cbs::sim::SimTime> last_progress;
+    std::vector<double> fail_below;  ///< 0 = no armed connection drop
+    /// Absolute ETA from the last pass; kTimeInfinity when rate == 0.
+    std::vector<cbs::sim::SimTime> completion_time;
+
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    [[nodiscard]] std::size_t size() const noexcept { return id.size(); }
+    [[nodiscard]] bool empty() const noexcept { return id.empty(); }
+    [[nodiscard]] std::size_t lower_bound(double d, TransferId t) const noexcept;
+    [[nodiscard]] std::size_t find(double d, TransferId t) const noexcept;
+    void insert(std::size_t pos, TransferId t, double d, double remaining,
+                double fail_below_remaining, cbs::sim::SimTime now);
+    void erase(std::size_t pos);
+    void clear() noexcept;
+    void reserve(std::size_t n);
+  };
+
+  TransferId submit_impl(double bytes, int threads, Cold c);
+
+  [[nodiscard]] double demand_of(const Cold& c) const noexcept {
+    return c.threads * config_.per_connection_cap;
+  }
 
   void activate(TransferId id);
   void schedule_activation(TransferId id, cbs::sim::SimDuration delay);
-  void arm_failure(Active& transfer);
+  void arm_failure(Cold& transfer);
   void progress_all();
-  void reallocate();
-  void complete(TransferId id);
+  /// Runs the water-filling pass if membership changed or time advanced
+  /// since the last pass, then re-arms the completion timer. Call at every
+  /// point the AoS design called reallocate(); the unconditional re-arm is
+  /// what keeps the timer's event-seq position identical to the historical
+  /// rescheduled completion events.
+  void flush();
+  void run_pass();
+  void record_capacity(cbs::sim::SimTime now, double capacity);
+  void on_timer();
   void ensure_tick();
   void on_tick();
   void note_busy_transition();
@@ -220,15 +293,27 @@ class Link {
   std::uint64_t outage_aborts_ = 0;
   double wasted_bytes_ = 0.0;
   bool outage_ = false;
-  // std::map: deterministic iteration order (allocation must not depend on
-  // hashing), and the id ordering equals submission ordering.
-  std::map<TransferId, Active> active_;
+  HotPool hot_;
+  cbs::util::FlatMap<TransferId, Cold> cold_;
   std::vector<TransferRecord> completed_;
   TransferId next_id_ = 1;
   double bytes_delivered_ = 0.0;
+  // Batched-reallocation state: membership changes set dirty_; flush()
+  // skips the arithmetic when neither membership nor the clock moved
+  // (capacity and demands are pure functions of both).
+  bool dirty_ = true;
+  cbs::sim::SimTime last_pass_time_ = -1.0;
+  double last_pass_capacity_ = 0.0;
+  /// Minimum completion_time over the hot pool (kTimeInfinity when none).
+  cbs::sim::SimTime next_completion_ = cbs::sim::kTimeInfinity;
+  /// The single per-link completion timer (replaces per-transfer events).
+  bool timer_armed_ = false;
+  cbs::sim::EventId timer_event_{};
   bool tick_scheduled_ = false;
   cbs::sim::EventId tick_event_{};
+  static constexpr std::size_t kCapacityHistoryMax = 4096;
   cbs::stats::TimeSeries capacity_history_;
+  cbs::sim::SimDuration capacity_min_interval_ = 0.0;
   // Busy-time accounting.
   double busy_accum_ = 0.0;
   cbs::sim::SimTime busy_since_ = 0.0;

@@ -57,6 +57,13 @@ class Simulation {
   /// Fires at most one event. Returns false if the queue was empty.
   bool step();
 
+  /// Pre-sizes the event slab/heap for `expected_events` concurrent events
+  /// (see EventQueue::reserve). Purely a performance hint — worth calling
+  /// before bulk scheduling, since slab growth relocates stored callbacks.
+  void reserve_events(std::size_t expected_events) {
+    queue_.reserve(expected_events);
+  }
+
   /// Requests that run()/run_until() return before the next event fires.
   void stop() noexcept { stop_requested_ = true; }
 

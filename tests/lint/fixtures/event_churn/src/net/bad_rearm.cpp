@@ -1,0 +1,29 @@
+// Negative fixture: per-item timer churn — every transfer's completion
+// event is cancelled and rescheduled inside the reallocation loop, N
+// cancel + N schedule calls per pass. cbs_lint must report [event-churn]
+// at the line where the pair completes.
+#include <vector>
+
+namespace cbs::sim {
+struct EventId {};
+struct Simulation {
+  EventId schedule_in(double d);
+  void cancel(EventId id);
+};
+}  // namespace cbs::sim
+
+namespace cbs::net {
+
+struct Active {
+  cbs::sim::EventId completion;
+  double eta = 0.0;
+};
+
+void rearm_all(cbs::sim::Simulation& sim, std::vector<Active>& transfers) {
+  for (Active& t : transfers) {
+    sim.cancel(t.completion);
+    t.completion = sim.schedule_in(t.eta);
+  }
+}
+
+}  // namespace cbs::net

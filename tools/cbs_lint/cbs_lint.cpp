@@ -211,6 +211,23 @@ bool has_call(const std::string& code, std::string_view token) {
   return false;
 }
 
+/// True when `token` occurs followed by `(` (optionally spaced), including
+/// member calls (`sim_.cancel(`), which `has_call` deliberately excludes.
+/// Used by the event-churn scan, where the calls of interest are member
+/// calls on the simulation or on event-owning components.
+bool has_member_or_free_call(const std::string& code, std::string_view token) {
+  std::size_t at = 0;
+  while ((at = code.find(token, at)) != std::string::npos) {
+    const std::size_t after = at + token.size();
+    const bool left_ok = at == 0 || !is_ident_char(code[at - 1]);
+    std::size_t j = after;
+    while (j < code.size() && code[j] == ' ') ++j;
+    if (left_ok && j < code.size() && code[j] == '(') return true;
+    at = after;
+  }
+  return false;
+}
+
 /// True when the line constructs an EventId from a raw value: the token
 /// `EventId` directly followed by a brace initializer with non-empty
 /// contents. `EventId id{}` (named variable) and `EventId{}` (null handle)
@@ -273,6 +290,12 @@ bool in_src_outside_harness(const std::string& rel) {
          !path_starts_with(rel, "src/harness/");
 }
 bool in_src(const std::string& rel) { return path_starts_with(rel, "src/"); }
+/// The event-churn rule watches the layers that own per-item timers: the
+/// link/transfer core and the scheduler/controller layer above it.
+bool in_event_hot_layers(const std::string& rel) {
+  return path_starts_with(rel, "src/net/") ||
+         path_starts_with(rel, "src/core/");
+}
 bool in_src_outside_simcore(const std::string& rel) {
   return path_starts_with(rel, "src/") &&
          !path_starts_with(rel, "src/simcore/");
@@ -372,6 +395,16 @@ const std::vector<Rule>& rules() {
        "EventId constructed from a raw value: handles must come from "
        "schedule_at/schedule_in so cancel()'s generation check stays sound",
        in_src_outside_simcore, has_raw_eventid},
+      {"event-churn", "event-churn",
+       "cancel + schedule pair inside a loop body: N cancels + N schedules "
+       "per pass is the per-item timer churn the data-oriented link core "
+       "removed (DESIGN.md §14) — batch the pass and re-arm ONE timer "
+       "after the loop, or waive with the reason it cannot be batched",
+       in_event_hot_layers,
+       // File-level rule: matched by scan_event_churn (loop-body tracking
+       // needs cross-line state), not per line. This entry registers the
+       // id, message, scope and waiver token.
+       [](const std::string&) { return false; }},
       {"snapshot-unsafe", "snapshot",
        "raw pointer to a sim component in the engine layers: pointer "
        "identity does not survive a fork — hold a rebindable reference, "
@@ -450,6 +483,76 @@ bool try_waive(SourceFile& f, std::size_t lineno, const std::string& token) {
   return false;
 }
 
+/// File-level scan for the event-churn rule: a `for`/`while` body that
+/// both cancels an event and schedules one is re-arming timers per item —
+/// the pattern batched water-filling exists to avoid. Tracks brace depth
+/// across lines; a loop frame opens at the `{` following a loop keyword
+/// and closes when depth returns to its entry level. The violation is
+/// reported at the line where the pair completes (second half observed),
+/// once per loop, and is waivable there like any per-line rule.
+///
+/// Deliberately dumb, like the rest of the checker: brace-less loop
+/// bodies are not tracked, and a `;` at paren depth zero clears a pending
+/// loop header so `do { ... } while (cond);` tails and empty `while`
+/// statements do not open phantom frames.
+void scan_event_churn(SourceFile& f, const Rule& rule,
+                      std::vector<Violation>* out) {
+  struct LoopFrame {
+    int entry_depth = 0;           ///< brace depth inside the loop body
+    std::size_t cancel_line = 0;   ///< first cancel seen (1-based), 0 = none
+    std::size_t schedule_line = 0;
+    bool reported = false;
+  };
+  std::vector<LoopFrame> frames;
+  int depth = 0;
+  int parens = 0;
+  bool pending_loop = false;  // loop keyword seen, body `{` not yet
+  for (std::size_t li = 0; li < f.code.size(); ++li) {
+    const std::string& code = f.code[li];
+    if (has_token(code, "for") || has_token(code, "while")) {
+      pending_loop = true;
+    }
+    for (const char c : code) {
+      if (c == '{') {
+        ++depth;
+        if (pending_loop) {
+          LoopFrame fr;
+          fr.entry_depth = depth;
+          frames.push_back(fr);
+          pending_loop = false;
+        }
+      } else if (c == '}') {
+        --depth;
+        while (!frames.empty() && depth < frames.back().entry_depth) {
+          frames.pop_back();
+        }
+      } else if (c == '(') {
+        ++parens;
+      } else if (c == ')') {
+        --parens;
+      } else if (c == ';' && parens == 0) {
+        pending_loop = false;
+      }
+    }
+    if (frames.empty()) continue;
+    const bool cancels = has_member_or_free_call(code, "cancel");
+    const bool schedules = has_member_or_free_call(code, "schedule_in") ||
+                           has_member_or_free_call(code, "schedule_at");
+    if (!cancels && !schedules) continue;
+    for (LoopFrame& fr : frames) {
+      if (cancels && fr.cancel_line == 0) fr.cancel_line = li + 1;
+      if (schedules && fr.schedule_line == 0) fr.schedule_line = li + 1;
+      if (!fr.reported && fr.cancel_line != 0 && fr.schedule_line != 0) {
+        fr.reported = true;
+        if (!try_waive(f, li + 1, rule.waiver_token)) {
+          out->push_back(
+              {f.path.generic_string(), li + 1, &rule, f.raw[li]});
+        }
+      }
+    }
+  }
+}
+
 int run(const Options& opt) {
   std::vector<std::string> errors;
   std::vector<SourceFile> files;
@@ -501,6 +604,10 @@ int run(const Options& opt) {
     const std::string rel = f.path.generic_string();
     for (const Rule& rule : rules()) {
       if (!rule.applies(rel)) continue;
+      if (rule.id == "event-churn") {
+        scan_event_churn(f, rule, &violations);
+        continue;
+      }
       for (std::size_t i = 0; i < f.code.size(); ++i) {
         if (!rule.matches(f.code[i])) continue;
         if (try_waive(f, i + 1, rule.waiver_token)) continue;

@@ -7,19 +7,22 @@
 //     baseline: {"benchmarks": [{"name": ..., "cpu_time_ns": ...}, ...]}.
 //     cpu_time is normalized to nanoseconds regardless of the report's
 //     time_unit, so baselines emitted from different unit settings compare.
+//     A "peak_rss_bytes" key on an entry (the scale_stress smoke reports
+//     one) is carried through into the baseline verbatim.
 //
 //   perf_compare compare <baseline.json> <current.json> [--threshold 0.30]
 //     Compares a fresh report (raw or emitted form — the scanner accepts
 //     both) against the committed baseline. Exits 1 when any benchmark
 //     present in both is slower than baseline by more than the threshold
-//     (relative: current > baseline * (1 + threshold)). Benchmarks present
-//     on only one side are reported but never fail the gate, so adding a
-//     benchmark does not require regenerating the baseline in the same
-//     commit.
+//     (relative: current > baseline * (1 + threshold)); peak-RSS rows are
+//     gated by the same relative threshold when both sides report one.
+//     Benchmarks present on only one side are reported but never fail the
+//     gate, so adding a benchmark does not require regenerating the
+//     baseline in the same commit.
 //
 // The parser is a purpose-built scanner for the handful of keys we need
-// ("name", "cpu_time", "cpu_time_ns", "time_unit") — not a general JSON
-// parser — so the tool has no third-party dependencies.
+// ("name", "cpu_time", "cpu_time_ns", "time_unit", "peak_rss_bytes") — not
+// a general JSON parser — so the tool has no third-party dependencies.
 
 #include <algorithm>
 #include <cctype>
@@ -39,6 +42,7 @@ namespace {
 struct BenchResult {
   std::string name;
   double cpu_time_ns = 0.0;
+  double peak_rss_bytes = 0.0;  ///< 0 = not reported for this entry
 };
 
 double unit_to_ns(std::string_view unit) {
@@ -136,6 +140,10 @@ std::vector<BenchResult> parse_benchmarks(const std::string& text) {
       }
       if (auto v = read_number_value(span, t_at)) r.cpu_time_ns = *v * scale;
     }
+    if (const std::size_t rss_at = find_value_of(span, "peak_rss_bytes", name_at);
+        rss_at != std::string_view::npos) {
+      if (auto v = read_number_value(span, rss_at)) r.peak_rss_bytes = *v;
+    }
     if (r.cpu_time_ns > 0.0) out.push_back(std::move(r));
     name_at = next_name;
   }
@@ -171,7 +179,12 @@ int emit(const std::string& in_path, const std::string& out_path) {
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.1f", results[i].cpu_time_ns);
     out << "    {\"name\": \"" << results[i].name << "\", \"cpu_time_ns\": "
-        << buf << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+        << buf;
+    if (results[i].peak_rss_bytes > 0.0) {
+      std::snprintf(buf, sizeof(buf), "%.0f", results[i].peak_rss_bytes);
+      out << ", \"peak_rss_bytes\": " << buf;
+    }
+    out << "}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   std::cout << "perf_compare: wrote " << results.size() << " baselines to "
@@ -219,6 +232,22 @@ int compare(const std::string& baseline_path, const std::string& current_path,
                 regressed ? "REGRESS" : "ok     ", b.name.c_str(),
                 b.cpu_time_ns, c->cpu_time_ns, (ratio - 1.0) * 100.0);
     if (regressed) ++regressions;
+    // Peak-RSS row: gated only when both sides report one, so a benchmark
+    // gaining (or dropping) RSS instrumentation never fails the gate.
+    if (b.peak_rss_bytes > 0.0 && c->peak_rss_bytes > 0.0) {
+      ++compared;
+      const double rss_ratio = c->peak_rss_bytes / b.peak_rss_bytes;
+      const bool rss_regressed =
+          c->peak_rss_bytes > b.peak_rss_bytes * (1.0 + threshold);
+      std::printf("  [%s] %-55s %12.0f -> %12.0f B   (%+.1f%%)\n",
+                  rss_regressed ? "REGRESS" : "ok     ",
+                  (b.name + " [rss]").c_str(), b.peak_rss_bytes,
+                  c->peak_rss_bytes, (rss_ratio - 1.0) * 100.0);
+      if (rss_regressed) ++regressions;
+    } else if (b.peak_rss_bytes > 0.0 || c->peak_rss_bytes > 0.0) {
+      std::cout << "  [info]   " << b.name
+                << " [rss] reported on one side only — not gated\n";
+    }
   }
   // Benchmarks present only in the current run are *additions*: report
   // them so the committed baseline gets regenerated eventually, but never
