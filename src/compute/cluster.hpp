@@ -260,8 +260,11 @@ class Cluster {
   double queued_standard_seconds_ = 0.0;
   TaskId next_id_ = 1;
   std::vector<TaskRecord> completed_;
+  // cbs-lint: snapshot-complete-ok(owner re-registers its hooks post-fork)
   std::function<void(std::size_t)> idle_hook_;
+  // cbs-lint: snapshot-complete-ok(owner re-registers its hooks post-fork)
   std::function<void()> task_done_hook_;
+  // cbs-lint: snapshot-complete-ok(owner re-registers its hooks post-fork)
   Callback task_complete_hook_;
 };
 

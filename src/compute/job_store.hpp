@@ -157,6 +157,8 @@ class JobStore {
   double byte_seconds_ = 0.0;
   cbs::sim::SimTime last_change_ = 0.0;
   cbs::stats::TimeSeries history_;
+  // Owners re-register continuations in the same slot order post-fork.
+  // cbs-lint: snapshot-complete-ok(re-registered post-fork in slot order)
   std::vector<Continuation> continuations_;
   cbs::util::FlatMap<std::uint64_t, PendingOp> pending_ops_;
   std::uint64_t next_op_id_ = 1;

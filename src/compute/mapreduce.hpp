@@ -90,6 +90,7 @@ class MapReduceRuntime {
 
   cbs::sim::Simulation& sim_;
   Cluster& cluster_;
+  // cbs-lint: snapshot-complete-ok(owner re-wires set_on_complete post-fork)
   Callback on_complete_;  ///< hook-form completion dispatch
   // Sorted-vector map: job ids are monotonic, so inserts append; keeps the
   // compute layer free of hash-ordered containers like simcore/core.

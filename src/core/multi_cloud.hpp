@@ -173,7 +173,9 @@ class MultiCloudController {
     net::ThreadTuner down_tuner;
     std::unique_ptr<TransferQueueSet> upload_queue;
     std::unique_ptr<TransferQueueSet> download_queue;
+    // cbs-lint: snapshot-complete-ok(wire_site_hooks re-registers; asserted)
     int probe_up_slot = -1;    ///< registered probe handler on uplink
+    // cbs-lint: snapshot-complete-ok(wire_site_hooks re-registers; asserted)
     int probe_down_slot = -1;  ///< registered probe handler on downlink
 
     // Belief about this site (scheduler-visible state only).

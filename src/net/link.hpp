@@ -288,6 +288,9 @@ class Link {
   LinkConfig config_;
   Ar1LogNoise noise_;
   cbs::sim::RngStream failure_rng_;
+  // Owners re-register their handlers in original construction order so
+  // slot indices line up (snapshot.hpp protocol).
+  // cbs-lint: snapshot-complete-ok(re-registered post-fork in slot order)
   std::vector<TaggedHandler> handlers_;
   std::uint64_t injected_failures_ = 0;
   std::uint64_t outage_aborts_ = 0;

@@ -182,11 +182,14 @@ class FaultPlan {
   Simulation& sim_;
   FaultConfig config_;
   RngStream rng_;
+  // cbs-lint: snapshot-complete-ok(owner re-wires the gate post-fork)
   ActiveGate active_;
   std::vector<ClusterHooks> hooks_;
   std::vector<CrashProcess> processes_;
   std::vector<OutageEdge> outage_edges_;
+  // cbs-lint: snapshot-complete-ok(owner re-wires outage hooks post-fork)
   OutageBeginHook outage_begin_;
+  // cbs-lint: snapshot-complete-ok(owner re-wires outage hooks post-fork)
   OutageEndHook outage_end_;
   bool outages_driven_ = false;
   int outage_depth_ = 0;

@@ -1,0 +1,20 @@
+// Negative fixture for [snapshot-complete]: `forgotten_` is a non-static
+// data member of a class with a clone constructor, and the constructor
+// neither copies nor deliberately resets it — the report must name it.
+#pragma once
+
+namespace cbs::core {
+
+class Widget {
+ public:
+  Widget(Simulation& dst, const Widget& src) : copied_(src.copied_) {
+    reset_in_body_ = 0;
+  }
+
+ private:
+  int copied_ = 0;
+  int reset_in_body_ = 0;
+  int forgotten_ = 0;
+};
+
+}  // namespace cbs::core

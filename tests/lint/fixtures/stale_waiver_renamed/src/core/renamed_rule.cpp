@@ -1,0 +1,10 @@
+// Negative fixture for [stale-waiver], rename flavour: the waiver names a
+// rule that does not exist (as after a rule rename), so it can never
+// suppress anything — cbs_lint must report it as stale even though it
+// "suppresses nothing" for a different reason than a fixed violation.
+namespace cbs::core {
+
+// cbs-lint: determinism-ok(rule was renamed; this waiver was left behind)
+int renamed_rule_marker() { return 0; }
+
+}  // namespace cbs::core

@@ -1,0 +1,28 @@
+// Positive fixture: a snapshot-aware component that satisfies all three
+// structural rule families without waivers — clone constructor mentions
+// every member, rebuild_events restores the stored id, and the include
+// points down the module DAG. cbs_lint must exit 0 on this tree.
+#pragma once
+
+#include "simcore/snapshot.hpp"
+
+namespace cbs::core {
+
+class GoodComponent {
+ public:
+  GoodComponent(Simulation& dst, const GoodComponent& src)
+      : count_(src.count_), timer_(src.timer_) {
+    static_cast<void>(dst);
+  }
+
+  void arm(Simulation& sim) { timer_ = sim.schedule_in(1.0, 0); }
+  void rebuild_events(SnapshotContext& ctx) {
+    timer_ = ctx.restore(timer_, 0);
+  }
+
+ private:
+  int count_ = 0;
+  EventId timer_{};
+};
+
+}  // namespace cbs::core

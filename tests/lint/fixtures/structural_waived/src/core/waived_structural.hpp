@@ -1,0 +1,27 @@
+// Positive fixture: the same structural violations as snapshot_complete /
+// restore_coverage / layering, each carrying a well-formed per-member
+// waiver — cbs_lint must exit 0 and list three active waivers.
+#pragma once
+
+// cbs-lint: layering-ok(fixture: proves the layering waiver path)
+#include "harness/world.hpp"
+
+namespace cbs::core {
+
+class WaivedWidget {
+ public:
+  WaivedWidget(Simulation& dst, const WaivedWidget& src)
+      : copied_(src.copied_) {
+    static_cast<void>(dst);
+  }
+  void arm(Simulation& sim) { timer_ = sim.schedule_in(1.0, 0); }
+
+ private:
+  int copied_ = 0;
+  // cbs-lint: snapshot-complete-ok(fixture: owner re-wires this post-fork)
+  int rewired_ = 0;
+  // cbs-lint: restore-coverage-ok(fixture: owner restores this id)
+  EventId timer_{};  // cbs-lint: snapshot-complete-ok(fixture: rewired)
+};
+
+}  // namespace cbs::core

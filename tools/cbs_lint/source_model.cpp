@@ -1,0 +1,195 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+
+namespace cbslint {
+
+std::string strip_line(const std::string& line, bool& in_block_comment) {
+  std::string out;
+  out.reserve(line.size());
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (in_block_comment) {
+      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        in_block_comment = false;
+        out += "  ";
+        i += 2;
+      } else {
+        out += ' ';
+        ++i;
+      }
+      continue;
+    }
+    const char c = line[i];
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+      // Line comment: blank the rest of the line.
+      out.append(line.size() - i, ' ');
+      break;
+    }
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      in_block_comment = true;
+      out += "  ";
+      i += 2;
+      continue;
+    }
+    if (c == '"' || (c == '\'' && (i == 0 || !is_ident_char(line[i - 1])))) {
+      // The is_ident_char guard keeps C++14 digit separators (1'000'000)
+      // from opening a phantom char literal.
+      const char quote = c;
+      out += ' ';
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == '\\' && i + 1 < line.size()) {
+          out += "  ";
+          i += 2;
+          continue;
+        }
+        const bool closing = line[i] == quote;
+        out += ' ';
+        ++i;
+        if (closing) break;
+      }
+      continue;
+    }
+    out += c;
+    ++i;
+  }
+  return out;
+}
+
+std::optional<Waiver> parse_waiver(const std::string& raw, std::size_t lineno,
+                                   std::string* error) {
+  static constexpr std::string_view kMarker = "cbs-lint:";
+  const std::size_t at = raw.find(kMarker);
+  if (at == std::string::npos) return std::nullopt;
+  std::size_t i = at + kMarker.size();
+  while (i < raw.size() && std::isspace(static_cast<unsigned char>(raw[i]))) {
+    ++i;
+  }
+  const std::size_t tok_begin = i;
+  while (i < raw.size() &&
+         (std::isalnum(static_cast<unsigned char>(raw[i])) || raw[i] == '-')) {
+    ++i;
+  }
+  std::string token = raw.substr(tok_begin, i - tok_begin);
+  static constexpr std::string_view kSuffix = "-ok";
+  if (token.size() <= kSuffix.size() ||
+      token.compare(token.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+          0) {
+    *error = "malformed cbs-lint marker (expected '<token>-ok(reason)')";
+    return std::nullopt;
+  }
+  token.resize(token.size() - kSuffix.size());
+  if (i >= raw.size() || raw[i] != '(') {
+    *error = "waiver '" + token + "-ok' is missing its (reason)";
+    return std::nullopt;
+  }
+  const std::size_t close = raw.find(')', i);
+  if (close == std::string::npos) {
+    *error = "waiver '" + token + "-ok' has an unterminated (reason";
+    return std::nullopt;
+  }
+  std::string reason = raw.substr(i + 1, close - i - 1);
+  const auto not_space = [](unsigned char c) { return !std::isspace(c); };
+  if (std::find_if(reason.begin(), reason.end(), not_space) == reason.end()) {
+    *error = "waiver '" + token + "-ok' has an empty reason";
+    return std::nullopt;
+  }
+  Waiver w;
+  w.line = lineno;
+  w.token = std::move(token);
+  w.reason = std::move(reason);
+  return w;
+}
+
+std::optional<SourceFile> load_file(const std::filesystem::path& abs,
+                                    const std::filesystem::path& rel,
+                                    std::vector<std::string>* errors) {
+  std::ifstream in(abs);
+  if (!in) {
+    errors->push_back("cannot read " + abs.string());
+    return std::nullopt;
+  }
+  SourceFile f;
+  f.path = rel;
+  bool in_block = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    f.code.push_back(strip_line(line, in_block));
+    std::string err;
+    if (auto w = parse_waiver(line, f.raw.size() + 1, &err)) {
+      f.waivers.push_back(std::move(*w));
+    } else if (!err.empty()) {
+      errors->push_back(rel.generic_string() + ":" +
+                        std::to_string(f.raw.size() + 1) + ": " + err);
+    }
+    f.raw.push_back(std::move(line));
+  }
+  return f;
+}
+
+bool try_waive(SourceFile& f, std::size_t lineno, const std::string& token) {
+  for (Waiver& w : f.waivers) {
+    if (w.token == token && (w.line == lineno || w.line + 1 == lineno)) {
+      w.used = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool has_token(const std::string& code, std::string_view token) {
+  std::size_t at = 0;
+  while ((at = code.find(token, at)) != std::string::npos) {
+    const bool left_ok = at == 0 || !is_ident_char(code[at - 1]);
+    const std::size_t after = at + token.size();
+    const bool right_ok = after >= code.size() || !is_ident_char(code[after]);
+    if (left_ok && right_ok) return true;
+    at = after;
+  }
+  return false;
+}
+
+bool has_call(const std::string& code, std::string_view token) {
+  std::size_t at = 0;
+  while ((at = code.find(token, at)) != std::string::npos) {
+    const std::size_t after = at + token.size();
+    const bool left_ident = at > 0 && is_ident_char(code[at - 1]);
+    const bool member =
+        (at >= 1 && code[at - 1] == '.') ||
+        (at >= 2 && code[at - 2] == '-' && code[at - 1] == '>');
+    std::size_t j = after;
+    while (j < code.size() && code[j] == ' ') ++j;
+    const bool called = j < code.size() && code[j] == '(';
+    if (!left_ident && !member && called) return true;
+    at = after;
+  }
+  return false;
+}
+
+bool has_member_or_free_call(const std::string& code, std::string_view token) {
+  std::size_t at = 0;
+  while ((at = code.find(token, at)) != std::string::npos) {
+    const std::size_t after = at + token.size();
+    const bool left_ok = at == 0 || !is_ident_char(code[at - 1]);
+    std::size_t j = after;
+    while (j < code.size() && code[j] == ' ') ++j;
+    if (left_ok && j < code.size() && code[j] == '(') return true;
+    at = after;
+  }
+  return false;
+}
+
+bool path_starts_with(const std::string& rel, std::string_view prefix) {
+  return rel.size() >= prefix.size() &&
+         rel.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace cbslint
